@@ -1,0 +1,66 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one table or figure of the paper and registers a
+plain-text rendering of the result; all renderings are printed in the
+terminal summary so that ``pytest benchmarks/ --benchmark-only`` leaves the
+reproduced rows/series in its output.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_FULL=1``
+    Include customers D and E in every experiment (the default covers A-C;
+    E multiplies wall-clock time by ~5).
+``REPRO_TRIALS=<n>``
+    Number of independent trials for accuracy experiments (default 5 in the
+    library; the benchmarks default to 3 unless overridden).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def register_report(text: str) -> None:
+    """Queue a rendered table/curve for the terminal summary."""
+    _REPORTS.append(text)
+
+
+def bench_customers() -> list[str]:
+    """Customer datasets in scope for this run."""
+    labels = "abcde" if os.environ.get("REPRO_BENCH_FULL") else "abc"
+    return [f"customer_{label}" for label in labels]
+
+
+def bench_trials() -> int:
+    return int(os.environ.get("REPRO_TRIALS", "3"))
+
+
+def interactive_customers() -> list[str]:
+    """Customers used in the (expensive) interactive-session figures."""
+    labels = "abcde" if os.environ.get("REPRO_BENCH_FULL") else "ac"
+    return [f"customer_{label}" for label in labels]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_artifacts():
+    """Build the per-vertical artefacts once up front (cached on disk)."""
+    from repro.datasets import load_dataset
+    from repro.eval.experiments import artifacts_for
+
+    for name in ("rdb_star", "ipfqr", "movielens_imdb", "customer_a"):
+        artifacts_for(load_dataset(name))
+    yield
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)

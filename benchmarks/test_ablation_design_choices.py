@@ -1,0 +1,58 @@
+"""Beyond-the-paper ablations of LSM's design choices (DESIGN.md index).
+
+Probes, on Customer A, the contribution of: the smart anchor strategy, the
+self-training wrapper, the new-entity penalty and the dtype filter.  Each
+variant runs the full interactive loop and reports the total labeling cost
+and the area above the labeling curve.
+"""
+
+import pytest
+from conftest import register_report
+
+from repro.datasets import load_dataset
+from repro.eval.experiments import run_lsm_session
+from repro.eval.metrics import area_above_curve
+from repro.eval.reporting import render_table
+
+_VARIANTS = {
+    "lsm (full)": {},
+    "random selection": {"selection_strategy": "random"},
+    "no self-training": {"self_training_rounds": 0},
+    "no entity penalty": {"apply_entity_penalty": False},
+    "no dtype filter": {"apply_dtype_filter": False},
+}
+
+
+def _run_all(dataset: str):
+    results = {}
+    for name, overrides in _VARIANTS.items():
+        session = run_lsm_session(load_dataset(dataset), seed=0, **overrides)
+        xs, ys = session.curve()
+        results[name] = {
+            "labels": session.total_labels,
+            "area": area_above_curve(xs, ys),
+            "completed": session.completed,
+        }
+    return results
+
+
+def test_design_choice_ablations(benchmark):
+    dataset = "customer_a"
+    results = benchmark.pedantic(_run_all, args=(dataset,), rounds=1, iterations=1)
+    rows = [
+        [name, payload["labels"], f"{payload['area']:.1f}", payload["completed"]]
+        for name, payload in results.items()
+    ]
+    register_report(
+        render_table(
+            ["variant", "labels used", "area above curve", "completed"],
+            rows,
+            title=f"Design-choice ablations on {dataset}",
+        )
+    )
+    for name, payload in results.items():
+        assert payload["completed"], name
+    full = results["lsm (full)"]
+    # The full configuration is at least competitive with every ablation.
+    for name, payload in results.items():
+        assert full["area"] <= payload["area"] * 1.35, name

@@ -1,0 +1,38 @@
+"""Figure 4: top-1/3/5 accuracy of LSM vs the best baseline on customers."""
+
+from conftest import bench_customers, bench_trials, register_report
+
+from repro.eval.experiments import fig4_lsm_customers
+from repro.eval.reporting import render_table
+
+
+def test_fig4(benchmark):
+    labels = "".join(name.removeprefix("customer_") for name in bench_customers())
+    figure = benchmark.pedantic(
+        fig4_lsm_customers,
+        kwargs={"trials": bench_trials(), "labels": labels},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for customer, methods in figure.items():
+        for method, accuracies in methods.items():
+            rows.append(
+                [customer, method]
+                + [
+                    f"{accuracies[k][0]:.2f}+-{accuracies[k][1]:.2f}"
+                    for k in (1, 3, 5)
+                ]
+            )
+    register_report(
+        render_table(
+            ["customer", "method", "top-1", "top-3", "top-5"],
+            rows,
+            title="Figure 4 -- LSM vs best baseline on customer schemata (mean +- stderr)",
+        )
+    )
+
+    # Shape: LSM's top-3 is at least competitive with the best baseline on
+    # every customer (the paper shows LSM strictly above).
+    for customer, methods in figure.items():
+        assert methods["lsm"][3][0] >= methods["best_baseline"][3][0] - 0.1, customer

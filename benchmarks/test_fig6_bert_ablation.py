@@ -1,0 +1,30 @@
+"""Figure 6: ablation of the BERT featurizer in the interactive loop."""
+
+import pytest
+from conftest import interactive_customers, register_report
+
+from repro.eval.experiments import fig6_bert_ablation
+from repro.eval.metrics import area_above_curve
+from repro.eval.reporting import summarise_curve
+
+
+@pytest.mark.parametrize("dataset", interactive_customers()[:1])
+def test_fig6(benchmark, dataset):
+    curves = benchmark.pedantic(
+        fig6_bert_ablation, args=(dataset,), rounds=1, iterations=1
+    )
+    lines = [f"Figure 6 -- BERT-featurizer ablation on {dataset}"]
+    for name, (xs, ys) in curves.curves.items():
+        lines.append("  " + summarise_curve(name, xs, ys))
+    lines.append(
+        f"  label fraction: full={curves.metadata['label_fraction_full']:.0%}"
+        f" w/o bert={curves.metadata['label_fraction_no_bert']:.0%}"
+    )
+    register_report("\n".join(lines))
+
+    full_area = area_above_curve(*curves.curves["lsm"])
+    ablated_area = area_above_curve(*curves.curves["lsm_no_bert"])
+    manual_area = area_above_curve(*curves.curves["manual"])
+    # Both complete below manual cost; removing BERT must not help.
+    assert full_area < manual_area
+    assert full_area <= ablated_area * 1.15

@@ -1,0 +1,32 @@
+"""Figure 7: ablation of attribute descriptions (customers A and E only)."""
+
+import os
+
+import pytest
+from conftest import register_report
+
+from repro.eval.experiments import fig7_description_ablation
+from repro.eval.metrics import area_above_curve
+from repro.eval.reporting import summarise_curve
+
+_DATASETS = ["customer_a"] + (
+    ["customer_e"] if os.environ.get("REPRO_BENCH_FULL") else []
+)
+
+
+@pytest.mark.parametrize("dataset", _DATASETS)
+def test_fig7(benchmark, dataset):
+    curves = benchmark.pedantic(
+        fig7_description_ablation, args=(dataset,), rounds=1, iterations=1
+    )
+    lines = [f"Figure 7 -- description ablation on {dataset}"]
+    for name, (xs, ys) in curves.curves.items():
+        lines.append("  " + summarise_curve(name, xs, ys))
+    register_report("\n".join(lines))
+
+    with_area = area_above_curve(*curves.curves["lsm"])
+    without_area = area_above_curve(*curves.curves["lsm_no_description"])
+    manual_area = area_above_curve(*curves.curves["manual"])
+    assert with_area < manual_area
+    # Descriptions help (or at worst are neutral within tolerance).
+    assert with_area <= without_area * 1.15

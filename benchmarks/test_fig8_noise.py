@@ -1,0 +1,27 @@
+"""Figure 8: performance under noisy user labels (n = 0, 0.1, 0.2, 0.3).
+
+Expected shape: the final correctly-matched fraction is roughly ``1 - n``,
+and even noisy LSM stays clearly above manual labeling.
+"""
+
+import pytest
+from conftest import interactive_customers, register_report
+
+from repro.eval.experiments import fig8_noise
+from repro.eval.reporting import summarise_curve
+
+
+@pytest.mark.parametrize("dataset", interactive_customers()[:1])
+def test_fig8(benchmark, dataset):
+    curves = benchmark.pedantic(fig8_noise, args=(dataset,), rounds=1, iterations=1)
+    lines = [f"Figure 8 -- noisy labels on {dataset}"]
+    for name, (xs, ys) in curves.curves.items():
+        lines.append("  " + summarise_curve(name, xs, ys))
+    register_report("\n".join(lines))
+
+    final = curves.metadata["final_correct_pct"]
+    assert final["lsm"] == pytest.approx(100.0, abs=1.0)
+    # Final correctness decreases with the noise rate and stays within a
+    # sensible band of the 1 - n ceiling.
+    assert final["lsm"] >= final["lsm_n=0.1"] >= final["lsm_n=0.3"] - 1e-9
+    assert 100.0 - 30.0 - 20.0 <= final["lsm_n=0.3"] <= 100.0 - 30.0 + 20.0

@@ -1,0 +1,44 @@
+"""Figure 9: model retrain-and-predict response time per iteration.
+
+Expected shape: response time is driven by the number of source attributes
+(candidate pairs), not by the number of labels provided -- larger customers
+sit on higher, roughly flat curves.
+"""
+
+import numpy as np
+from conftest import bench_customers, register_report
+
+from repro.eval.experiments import fig9_response_time
+from repro.eval.reporting import render_table
+
+
+def test_fig9(benchmark):
+    results = benchmark.pedantic(
+        fig9_response_time, args=(bench_customers(),), rounds=1, iterations=1
+    )
+    rows = []
+    means = {}
+    for dataset, points in results.items():
+        times = [seconds for _, seconds in points]
+        means[dataset] = float(np.mean(times))
+        rows.append(
+            [
+                dataset,
+                len(points),
+                f"{np.mean(times):.2f}",
+                f"{np.max(times):.2f}",
+            ]
+        )
+    register_report(
+        render_table(
+            ["dataset", "iterations", "mean response (s)", "max response (s)"],
+            rows,
+            title="Figure 9 -- per-iteration response time",
+        )
+    )
+
+    # Larger source schemata take longer per iteration (shape assertion);
+    # compare the smallest vs the largest customer in scope.
+    datasets = list(results)
+    smallest, largest = datasets[0], datasets[-1]
+    assert means[largest] >= means[smallest]

@@ -1,0 +1,31 @@
+"""Table III: top-3 accuracy of the six baselines on all schemata.
+
+Expected shape (not absolute values): near-perfect accuracy on RDB-Star and
+IPFQR, ~0.5-0.7 on MovieLens-IMDB, substantially lower on the customer
+schemata, LSD near zero throughout, and no single winner.
+"""
+
+from conftest import bench_customers, register_report
+
+from repro.eval.experiments import table3_baseline_accuracy
+from repro.eval.reporting import render_accuracy_table
+
+
+def test_table3(benchmark):
+    datasets = ["rdb_star", "ipfqr", "movielens_imdb"] + bench_customers()
+    table = benchmark.pedantic(
+        table3_baseline_accuracy, args=(datasets,), rounds=1, iterations=1
+    )
+    register_report(
+        render_accuracy_table(table, title="Table III -- baseline top-3 accuracy")
+    )
+
+    # Shape assertions from the paper.
+    assert max(table["rdb_star"].values()) > 0.9
+    assert max(table["ipfqr"].values()) > 0.9
+    assert 0.3 <= max(table["movielens_imdb"].values()) <= 0.95
+    for name in bench_customers():
+        best = max(table[name].values())
+        easiest_public = max(table["rdb_star"].values())
+        assert best < easiest_public  # customers are much harder
+        assert table[name]["lsd"] <= 0.2  # LSD fails to generalise

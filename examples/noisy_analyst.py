@@ -1,0 +1,36 @@
+"""Noise robustness: an analyst who sometimes labels incorrectly (Section V-F).
+
+Simulates the paper's noise model -- with probability ``n``, the user maps a
+source attribute to the embedding-nearest *wrong* ISS attribute instead of
+the correct one -- and shows that the fraction of correctly matched
+attributes plateaus near ``1 - n`` while the workflow still completes.
+
+Run:  python examples/noisy_analyst.py
+"""
+
+from repro.datasets import load_dataset
+from repro.eval.experiments import run_lsm_session
+
+
+def main() -> None:
+    task = load_dataset("customer_a")
+    print(f"Dataset: {task.name} ({task.source.num_attributes} attributes)\n")
+
+    print(f"{'noise rate':>10}  {'labels used':>11}  {'matched':>8}  {'correct':>8}")
+    for noise_rate in (0.0, 0.1, 0.2, 0.3):
+        session = run_lsm_session(task, seed=0, noise_rate=noise_rate)
+        final = session.records[-1]
+        correct_pct = 100.0 * final.matched_correct / session.num_source_attributes
+        matched_pct = 100.0 * final.matched_total / session.num_source_attributes
+        print(
+            f"{noise_rate:>10.1f}  {session.total_labels:>11}  "
+            f"{matched_pct:>7.0f}%  {correct_pct:>7.0f}%"
+        )
+    print(
+        "\nAs in Fig. 8: everything gets matched, but the correctly-matched"
+        "\nfraction is capped by the user's own error rate (~100% - n)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Retail customer onboarding: the paper's end-to-end workflow (Section V-C).
+
+Loads the generated Customer A schema and the full 92-entity retail ISS,
+then simulates the interactive human-in-the-loop session: review top-3
+suggestions, label the least-confident anchor attribute, retrain, repeat
+until the full schema is matched.  Prints the labeling-cost curve and the
+saving relative to manual labeling (the paper's headline "as much as 81%").
+
+Run:  python examples/retail_onboarding.py
+(The first run pre-trains the per-vertical artefacts; they are cached under
+ .repro_cache/ so later runs start fast.)
+"""
+
+from repro.datasets import load_dataset
+from repro.eval.experiments import run_best_baseline_session, run_lsm_session
+
+
+def main() -> None:
+    task = load_dataset("customer_a")
+    print(f"Source: {task.source.name} -- {task.source.stats()}")
+    print(f"Target: {task.target.name} -- {task.target.stats()}\n")
+
+    print("Running the interactive LSM session (smart selection)...")
+    session = run_lsm_session(task, seed=0)
+    xs, ys = session.curve()
+    print("\n  labels provided -> attributes correctly matched")
+    for x, y in zip(xs, ys):
+        bar = "#" * int(y / 2.5)
+        print(f"  {x:5.1f}%  {y:5.1f}%  {bar}")
+
+    labels_used = session.label_fraction_used
+    saving = 100.0 * (1.0 - labels_used)
+    print(f"\nFull schema matched with {session.total_labels} labels"
+          f" ({labels_used:.0%} of attributes): {saving:.0f}% labeling saved"
+          " vs manual labeling.")
+
+    print("\nRunning the best baseline interactively for comparison...")
+    name, baseline = run_best_baseline_session(task, seed=0)
+    print(f"Best baseline: {name}; labels needed:"
+          f" {baseline.total_labels} ({baseline.label_fraction_used:.0%})")
+    print(f"LSM advantage: {baseline.total_labels - session.total_labels} fewer labels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-use-pep517`` works on offline machines that lack the
+``wheel`` package (PEP-517 editable installs require ``bdist_wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro -- reproduction of "Schema Matching using Pre-Trained Language Models"
+(Zhang et al., ICDE 2023).
+
+The package implements the Learned Schema Matcher (LSM) -- a data-free,
+human-in-the-loop linguistic schema matcher built on a fine-tuned
+encoder-only language model -- together with every substrate it depends on
+(an E/R schema model, a from-scratch numpy transformer, FastText-style
+subword embeddings), the six baselines of the paper's evaluation, the
+datasets, and the experiment harness.
+
+Quickstart::
+
+    from repro import LearnedSchemaMatcher, load_dataset
+
+    task = load_dataset("movielens_imdb")
+    matcher = LearnedSchemaMatcher(task.source, task.target)
+    predictions = matcher.predict()
+    for source, ranked in predictions.suggestions.items():
+        print(source, "->", ranked[0])
+"""
+
+from .schema import (
+    Attribute,
+    AttributeRef,
+    Correspondence,
+    DataType,
+    Entity,
+    EntityMatch,
+    JoinGraph,
+    MatchResult,
+    Relationship,
+    Schema,
+)
+from .core import (
+    ArtifactConfig,
+    DomainArtifacts,
+    GroundTruthOracle,
+    LearnedSchemaMatcher,
+    LsmConfig,
+    MatchingSession,
+    SessionResult,
+    build_artifacts,
+)
+from .datasets import MatchingTask, load_dataset, retail_iss
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArtifactConfig",
+    "Attribute",
+    "AttributeRef",
+    "Correspondence",
+    "DataType",
+    "DomainArtifacts",
+    "Entity",
+    "EntityMatch",
+    "GroundTruthOracle",
+    "JoinGraph",
+    "LearnedSchemaMatcher",
+    "LsmConfig",
+    "MatchResult",
+    "MatchingSession",
+    "MatchingTask",
+    "Relationship",
+    "Schema",
+    "SessionResult",
+    "build_artifacts",
+    "load_dataset",
+    "retail_iss",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Reimplementations of the six baseline matchers evaluated in Section III."""
+
+from .base import (
+    AttributeText,
+    Baseline,
+    ScoredMatrix,
+    TrainTestSplit,
+    attribute_texts,
+    split_ground_truth,
+)
+from .cupid import CupidMatcher
+from .coma import ComaMatcher
+from .smatch import SMatchMatcher
+from .flooding import SimilarityFloodingMatcher
+from .lsd import LsdMatcher
+from .mlm_matcher import MlmMatcher, kmeans
+from .interactive import InteractiveBaselineSession
+
+__all__ = [
+    "AttributeText",
+    "Baseline",
+    "ComaMatcher",
+    "CupidMatcher",
+    "InteractiveBaselineSession",
+    "LsdMatcher",
+    "MlmMatcher",
+    "SMatchMatcher",
+    "ScoredMatrix",
+    "SimilarityFloodingMatcher",
+    "TrainTestSplit",
+    "attribute_texts",
+    "kmeans",
+    "split_ground_truth",
+]

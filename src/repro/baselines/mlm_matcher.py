@@ -1,0 +1,120 @@
+"""MLM baseline (Sahay, Mehta, Jadon -- arXiv 2019), schema-only adaptation.
+
+MLM featurises candidate matches and clusters them unsupervised (K-means or
+a self-organising map).  Per the paper's adaptation we use only schema-level
+features: several name-similarity metrics, a dtype-equality indicator and a
+token-overlap measure.  The candidate pairs are clustered into *match* /
+*non-match* groups with a from-scratch K-means (k=2); a pair's score is its
+(negated, normalised) distance to the match-cluster centroid, so ranking
+within a source attribute is by match-cluster affinity.
+
+The "training set" is unsupervised: "all the attributes in the target (ISS)
+schema are treated as the training set" -- i.e. the clustering is fit over
+all candidate pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..schema.model import Schema
+from ..text.metrics import (
+    dice_similarity,
+    edit_similarity,
+    jaro_winkler_similarity,
+    lcs_ratio,
+    ngram_similarity,
+)
+from .base import Baseline, ScoredMatrix, attribute_texts
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 50,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's K-means; returns (centroids, assignments)."""
+    if points.shape[0] < k:
+        raise ValueError("fewer points than clusters")
+    # k-means++ style seeding: first uniform, then distance-weighted.
+    centroids = [points[int(rng.integers(points.shape[0]))]]
+    while len(centroids) < k:
+        distances = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total == 0.0:
+            centroids.append(points[int(rng.integers(points.shape[0]))])
+            continue
+        centroids.append(points[int(rng.choice(points.shape[0], p=distances / total))])
+    centers = np.stack(centroids)
+    assignments = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(max_iterations):
+        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_assignments = distances.argmin(axis=1)
+        if (new_assignments == assignments).all():
+            break
+        assignments = new_assignments
+        for cluster in range(k):
+            members = points[assignments == cluster]
+            if members.shape[0] > 0:
+                centers[cluster] = members.mean(axis=0)
+    return centers, assignments
+
+
+def _pair_features(source_text, target_text) -> np.ndarray:
+    """Schema-level feature vector of one candidate pair."""
+    a, b = source_text.canonical, target_text.canonical
+    return np.asarray(
+        [
+            edit_similarity(a, b),
+            lcs_ratio(a, b),
+            ngram_similarity(a, b),
+            jaro_winkler_similarity(a, b),
+            dice_similarity(source_text.expanded_tokens, target_text.expanded_tokens),
+            1.0 if source_text.dtype_value == target_text.dtype_value else 0.0,
+        ]
+    )
+
+
+class MlmMatcher(Baseline):
+    """Unsupervised K-means over schema-level candidate features."""
+
+    name = "mlm"
+
+    def variants(self) -> dict[str, dict]:
+        return {"k=2": {"num_clusters": 2}, "k=3": {"num_clusters": 3}}
+
+    def score_matrix(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        num_clusters: int = 2,
+        seed: int = 0,
+        **params,
+    ) -> ScoredMatrix:
+        rng = np.random.default_rng(seed)
+        source_texts = attribute_texts(source_schema)
+        target_texts = attribute_texts(target_schema)
+        num_sources, num_targets = len(source_texts), len(target_texts)
+
+        features = np.zeros((num_sources * num_targets, 6))
+        row = 0
+        for source_text in source_texts:
+            for target_text in target_texts:
+                features[row] = _pair_features(source_text, target_text)
+                row += 1
+
+        centers, _ = kmeans(features, num_clusters, rng)
+        # The match cluster is the one whose centroid has the highest mean
+        # name similarity (features are all similarity-oriented).
+        match_cluster = int(centers[:, :5].mean(axis=1).argmax())
+        distances = np.sqrt(((features - centers[match_cluster]) ** 2).sum(axis=1))
+        peak = distances.max()
+        scores = 1.0 - distances / peak if peak > 0 else np.ones_like(distances)
+        return ScoredMatrix(
+            scores=scores.reshape(num_sources, num_targets),
+            source_refs=[t.ref for t in source_texts],
+            target_refs=[t.ref for t in target_texts],
+        )

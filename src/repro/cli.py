@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``stats``
+    Print Table I/II-style statistics for every packaged dataset.
+``baselines DATASET``
+    Grid-search and report all six baselines on one dataset (top-1/3/5).
+``accuracy DATASET [--train-fraction F] [--trials N]``
+    Non-interactive LSM accuracy (Section V-B methodology).
+``session DATASET [--noise N] [--strategy S]``
+    Run the full interactive matching session and print the labeling curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .datasets import ALL_NAMES, load_dataset
+from .eval.experiments import (
+    BASELINE_NAMES,
+    evaluate_lsm_accuracy,
+    run_baseline,
+    run_lsm_session,
+)
+from .eval.reporting import render_table
+
+
+def _cmd_stats(_args: argparse.Namespace) -> None:
+    rows = []
+    for name in ALL_NAMES:
+        task = load_dataset(name)
+        for side, schema in (("source", task.source), ("target", task.target)):
+            stats = schema.stats()
+            rows.append(
+                [
+                    name,
+                    side,
+                    stats["entities"],
+                    stats["attributes"],
+                    stats["pk_fk"],
+                    "Y" if stats["descriptions"] else "N",
+                ]
+            )
+    print(render_table(
+        ["dataset", "side", "entities", "attributes", "pk/fk", "desc"],
+        rows,
+        title="Dataset statistics",
+    ))
+
+
+def _cmd_baselines(args: argparse.Namespace) -> None:
+    task = load_dataset(args.dataset)
+    rows = []
+    for baseline_name in BASELINE_NAMES:
+        result = run_baseline(task, baseline_name)
+        rows.append(
+            [baseline_name]
+            + [f"{result.top_k_accuracy[k]:.2f}" for k in (1, 3, 5)]
+            + [result.best_variant]
+        )
+    print(render_table(
+        ["baseline", "top-1", "top-3", "top-5", "variant"],
+        rows,
+        title=f"Baselines on {args.dataset}",
+    ))
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> None:
+    task = load_dataset(args.dataset)
+    trials = evaluate_lsm_accuracy(
+        task, train_fraction=args.train_fraction, trials=args.trials
+    )
+    rows = [
+        [f"top-{k}", f"{trials.median(k):.2f}", f"{trials.mean_stderr(k)[0]:.2f}"]
+        for k in (1, 3, 5)
+    ]
+    print(render_table(
+        ["metric", "median", "mean"],
+        rows,
+        title=(
+            f"LSM on {args.dataset} "
+            f"({args.train_fraction:.0%} training labels, {args.trials} trials)"
+        ),
+    ))
+
+
+def _cmd_session(args: argparse.Namespace) -> None:
+    task = load_dataset(args.dataset)
+    session = run_lsm_session(
+        task,
+        seed=args.seed,
+        noise_rate=args.noise,
+        selection_strategy=args.strategy,
+    )
+    xs, ys = session.curve()
+    print(f"Interactive session on {args.dataset} "
+          f"(strategy={args.strategy}, noise={args.noise}):")
+    for x, y in zip(xs, ys):
+        print(f"  labels={x:5.1f}%  correct={y:5.1f}%")
+    saving = 100.0 * (1.0 - session.label_fraction_used)
+    print(f"Total labels: {session.total_labels} "
+          f"({session.label_fraction_used:.0%} of attributes; "
+          f"{saving:.0f}% saved vs manual labeling)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Learned Schema Matcher reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("stats", help="dataset statistics").set_defaults(
+        func=_cmd_stats
+    )
+
+    baselines = subparsers.add_parser("baselines", help="run the six baselines")
+    baselines.add_argument("dataset", choices=ALL_NAMES)
+    baselines.set_defaults(func=_cmd_baselines)
+
+    accuracy = subparsers.add_parser("accuracy", help="non-interactive LSM accuracy")
+    accuracy.add_argument("dataset", choices=ALL_NAMES)
+    accuracy.add_argument("--train-fraction", type=float, default=0.2)
+    accuracy.add_argument("--trials", type=int, default=3)
+    accuracy.set_defaults(func=_cmd_accuracy)
+
+    session = subparsers.add_parser("session", help="interactive matching session")
+    session.add_argument("dataset", choices=ALL_NAMES)
+    session.add_argument("--noise", type=float, default=0.0)
+    session.add_argument(
+        "--strategy",
+        choices=["least_confident_anchor", "random"],
+        default="least_confident_anchor",
+    )
+    session.add_argument("--seed", type=int, default=0)
+    session.set_defaults(func=_cmd_session)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

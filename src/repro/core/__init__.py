@@ -1,0 +1,56 @@
+"""LSM core: candidates, meta-learner, scoring, selection, matcher, session."""
+
+from .artifacts import ArtifactConfig, DomainArtifacts, build_artifacts, phrase_matrix
+from .candidates import NEGATIVE, POSITIVE, UNLABELED, CandidateStore
+from .config import LsmConfig
+from .matcher import LearnedSchemaMatcher, Predictions
+from .meta import (
+    LogisticModel,
+    SelfTrainingClassifier,
+    SelfTrainingResult,
+    fit_logistic,
+)
+from .oracle import GroundTruthOracle
+from .scoring import ScoreAdjuster, dtype_compatibility_mask, entity_penalty
+from .selection import (
+    LeastConfidentAnchorSelection,
+    RandomSelection,
+    SelectionStrategy,
+    make_strategy,
+)
+from .session import (
+    IterationRecord,
+    MatchingSession,
+    SessionResult,
+    manual_labeling_curve,
+)
+
+__all__ = [
+    "ArtifactConfig",
+    "CandidateStore",
+    "DomainArtifacts",
+    "GroundTruthOracle",
+    "IterationRecord",
+    "LearnedSchemaMatcher",
+    "LeastConfidentAnchorSelection",
+    "LogisticModel",
+    "LsmConfig",
+    "MatchingSession",
+    "NEGATIVE",
+    "POSITIVE",
+    "Predictions",
+    "RandomSelection",
+    "ScoreAdjuster",
+    "SelectionStrategy",
+    "SelfTrainingClassifier",
+    "SelfTrainingResult",
+    "SessionResult",
+    "UNLABELED",
+    "build_artifacts",
+    "dtype_compatibility_mask",
+    "entity_penalty",
+    "fit_logistic",
+    "make_strategy",
+    "manual_labeling_curve",
+    "phrase_matrix",
+]

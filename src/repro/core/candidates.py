@@ -1,0 +1,210 @@
+"""Candidate-pair store: the Cartesian product ``P = A_s x A_t`` with labels.
+
+The preparation phase of the pipeline (Section IV-B) generates every
+``(a_s, a_t)`` pair and initialises its label to -1 (unlabeled).  Labels move
+to 1 (correct match) or 0 (incorrect) through user feedback.  The store keeps
+flat numpy index arrays so the training/prediction phases can slice by label
+state without Python loops, plus the :class:`AttributePairView` for each pair
+for the featurizers.
+
+Optional blocking (``keep_per_source``) retains only the most promising
+targets per source attribute according to externally supplied scores; see
+``LsmConfig.max_candidates_per_source`` for the rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..featurizers.base import AttributePairView, make_pair_view
+from ..schema.model import AttributeRef, Schema
+
+UNLABELED = -1
+NEGATIVE = 0
+POSITIVE = 1
+
+
+class CandidateStore:
+    """All candidate pairs between a source and a target schema."""
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        use_descriptions: bool = True,
+    ) -> None:
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self.use_descriptions = use_descriptions
+
+        self.source_refs: list[AttributeRef] = source_schema.attribute_refs()
+        self.target_refs: list[AttributeRef] = target_schema.attribute_refs()
+        self._source_index = {ref: i for i, ref in enumerate(self.source_refs)}
+        self._target_index = {ref: i for i, ref in enumerate(self.target_refs)}
+
+        num_sources = len(self.source_refs)
+        num_targets = len(self.target_refs)
+        self.pair_source = np.repeat(np.arange(num_sources), num_targets)
+        self.pair_target = np.tile(np.arange(num_targets), num_sources)
+        self.labels = np.full(self.pair_source.shape[0], UNLABELED, dtype=np.int8)
+        self._pair_index: dict[tuple[int, int], int] = {
+            (int(s), int(t)): i
+            for i, (s, t) in enumerate(zip(self.pair_source, self.pair_target))
+        }
+        self._views: list[AttributePairView | None] = [None] * self.num_pairs
+
+    # -- sizes / lookups ---------------------------------------------------------
+
+    @property
+    def num_pairs(self) -> int:
+        return self.pair_source.shape[0]
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.source_refs)
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.target_refs)
+
+    def source_ref(self, source_index: int) -> AttributeRef:
+        return self.source_refs[source_index]
+
+    def target_ref(self, target_index: int) -> AttributeRef:
+        return self.target_refs[target_index]
+
+    def source_index(self, ref: AttributeRef) -> int:
+        return self._source_index[ref]
+
+    def target_index(self, ref: AttributeRef) -> int:
+        return self._target_index[ref]
+
+    def pair_id(self, source: AttributeRef, target: AttributeRef) -> int | None:
+        """Flat index of the pair, or None if it was pruned away."""
+        return self._pair_index.get(
+            (self._source_index[source], self._target_index[target])
+        )
+
+    def view(self, pair_id: int) -> AttributePairView:
+        cached = self._views[pair_id]
+        if cached is None:
+            cached = make_pair_view(
+                self.source_schema,
+                self.target_schema,
+                self.source_refs[int(self.pair_source[pair_id])],
+                self.target_refs[int(self.pair_target[pair_id])],
+                use_descriptions=self.use_descriptions,
+            )
+            self._views[pair_id] = cached
+        return cached
+
+    def views(self, pair_ids: Iterable[int]) -> list[AttributePairView]:
+        return [self.view(int(pair_id)) for pair_id in pair_ids]
+
+    def pairs_of_source(self, source: AttributeRef) -> np.ndarray:
+        """Flat indices of all pairs whose source is ``source``."""
+        return np.flatnonzero(self.pair_source == self._source_index[source])
+
+    # -- blocking -----------------------------------------------------------------
+
+    def prune(self, keep_per_source: int, scores: np.ndarray) -> None:
+        """Keep the ``keep_per_source`` best-scoring targets per source.
+
+        ``scores`` must align with the current pair arrays.  Already labeled
+        pairs are always retained so feedback can never be dropped.
+        """
+        if scores.shape[0] != self.num_pairs:
+            raise ValueError("scores do not align with candidate pairs")
+        if keep_per_source >= self.num_targets:
+            return
+        keep_mask = np.zeros(self.num_pairs, dtype=bool)
+        for source_index in range(self.num_sources):
+            pair_ids = np.flatnonzero(self.pair_source == source_index)
+            top = pair_ids[np.argsort(-scores[pair_ids], kind="stable")[:keep_per_source]]
+            keep_mask[top] = True
+        keep_mask |= self.labels != UNLABELED
+        self._apply_mask(keep_mask)
+
+    def _apply_mask(self, keep_mask: np.ndarray) -> None:
+        keep_ids = np.flatnonzero(keep_mask)
+        self.pair_source = self.pair_source[keep_ids]
+        self.pair_target = self.pair_target[keep_ids]
+        self.labels = self.labels[keep_ids]
+        self._views = [self._views[int(i)] for i in keep_ids]
+        self._pair_index = {
+            (int(s), int(t)): i
+            for i, (s, t) in enumerate(zip(self.pair_source, self.pair_target))
+        }
+
+    def ensure_pair(self, source: AttributeRef, target: AttributeRef) -> int:
+        """Return the pair's flat index, re-adding it if blocking pruned it.
+
+        The user may map a source attribute to *any* ISS attribute during the
+        labeling phase, including one the blocking step dropped; feedback
+        must never be lost to pruning.
+        """
+        source_index = self._source_index[source]
+        target_index = self._target_index[target]
+        pair_id = self._pair_index.get((source_index, target_index))
+        if pair_id is not None:
+            return pair_id
+        self.pair_source = np.append(self.pair_source, source_index)
+        self.pair_target = np.append(self.pair_target, target_index)
+        self.labels = np.append(self.labels, np.int8(UNLABELED))
+        self._views.append(None)
+        pair_id = self.num_pairs - 1
+        self._pair_index[(source_index, target_index)] = pair_id
+        return pair_id
+
+    # -- labels ---------------------------------------------------------------
+
+    def set_positive(self, source: AttributeRef, target: AttributeRef) -> None:
+        """Record a confirmed match: positive pair + negatives for the rest.
+
+        Following §IV-E1, once the correct target is known every other pair
+        of the same source attribute becomes a negative.
+        """
+        pair_id = self.ensure_pair(source, target)
+        mask = self.pair_source == self._source_index[source]
+        self.labels[mask] = NEGATIVE
+        self.labels[pair_id] = POSITIVE
+
+    def set_negative(self, source: AttributeRef, target: AttributeRef) -> None:
+        """Record that ``target`` is not the match for ``source``."""
+        pair_id = self.pair_id(source, target)
+        if pair_id is not None and self.labels[pair_id] != POSITIVE:
+            self.labels[pair_id] = NEGATIVE
+
+    def labeled_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.labels != UNLABELED)
+
+    def positive_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.labels == POSITIVE)
+
+    def matched_sources(self) -> list[AttributeRef]:
+        """Source attributes with a confirmed positive pair."""
+        return [
+            self.source_refs[int(self.pair_source[pair_id])]
+            for pair_id in self.positive_ids()
+        ]
+
+    def matched_target_of(self, source: AttributeRef) -> AttributeRef | None:
+        source_index = self._source_index[source]
+        mask = (self.pair_source == source_index) & (self.labels == POSITIVE)
+        ids = np.flatnonzero(mask)
+        if ids.size == 0:
+            return None
+        return self.target_refs[int(self.pair_target[int(ids[0])])]
+
+    def unmatched_sources(self) -> list[AttributeRef]:
+        matched = {self._source_index[ref] for ref in self.matched_sources()}
+        return [ref for i, ref in enumerate(self.source_refs) if i not in matched]
+
+    def matched_target_entities(self) -> set[str]:
+        """Target entities containing at least one confirmed match (drives z)."""
+        return {
+            self.target_refs[int(self.pair_target[pair_id])].entity
+            for pair_id in self.positive_ids()
+        }

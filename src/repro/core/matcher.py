@@ -1,0 +1,241 @@
+"""The Learned Schema Matcher: orchestration of the full pipeline (Fig. 2).
+
+``LearnedSchemaMatcher`` wires together preparation (candidate generation,
+optional blocking), Step 1 (featurization), Step 2 (self-training
+meta-learner + score adjustment + top-k suggestions with confidences) and
+the label bookkeeping behind Step 3 (user interaction, which lives in
+:mod:`repro.core.session`).
+
+Typical usage::
+
+    matcher = LearnedSchemaMatcher(source, iss)
+    predictions = matcher.predict()
+    for ref, suggestions in predictions.suggestions.items():
+        ...                         # show to the user
+    matcher.record_match(ref, target)          # user confirmed a pair
+    matcher.record_rejected(ref, shown)        # none of the shown fit
+    predictions = matcher.predict()            # retrain and re-rank
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..featurizers.base import AttributePairView
+from ..featurizers.bert import BertFeaturizer
+from ..featurizers.embedding import EmbeddingFeaturizer
+from ..featurizers.lexical import LexicalFeaturizer
+from ..featurizers.pipeline import FeaturizerPipeline
+from ..nn.activations import softmax
+from ..schema.model import AttributeRef, Correspondence, MatchResult, Schema
+from ..text.tokenize import split_identifier
+from .artifacts import ArtifactConfig, DomainArtifacts, build_artifacts, phrase_matrix
+from .candidates import CandidateStore
+from .config import LsmConfig
+from .meta import SelfTrainingClassifier
+from .scoring import ScoreAdjuster
+from .selection import SelectionStrategy, make_strategy
+
+
+@dataclass
+class Predictions:
+    """Output of one train-and-predict pass."""
+
+    scores: np.ndarray  # adjusted score per candidate pair (store order)
+    suggestions: dict[AttributeRef, list[tuple[AttributeRef, float]]]
+    confidences: dict[AttributeRef, float]
+    feature_names: list[str] = field(default_factory=list)
+
+    def suggestion_refs(self, source: AttributeRef) -> list[AttributeRef]:
+        return [target for target, _ in self.suggestions.get(source, [])]
+
+
+class LearnedSchemaMatcher:
+    """Data-free, human-in-the-loop schema matcher (the paper's LSM)."""
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        config: LsmConfig | None = None,
+        artifacts: DomainArtifacts | None = None,
+        artifact_config: ArtifactConfig | None = None,
+        anchor_set: list[AttributeRef] | None = None,
+    ) -> None:
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self.config = config or LsmConfig()
+        self.artifacts = artifacts or build_artifacts(
+            target_schema, config=artifact_config
+        )
+
+        self.store = CandidateStore(
+            source_schema,
+            target_schema,
+            use_descriptions=self.config.use_descriptions,
+        )
+        if self.config.max_candidates_per_source is not None:
+            self.store.prune(
+                self.config.max_candidates_per_source, self._blocking_scores()
+            )
+
+        featurizers: list = []
+        if self.config.use_lexical:
+            featurizers.append(LexicalFeaturizer())
+        if self.config.use_embedding:
+            featurizers.append(EmbeddingFeaturizer(embeddings=self.artifacts.embeddings))
+        self.bert_featurizer: BertFeaturizer | None = None
+        if self.config.use_bert:
+            self.bert_featurizer = BertFeaturizer(
+                self.artifacts.tokenizer, self.artifacts.bert, self.config.bert
+            )
+            self.bert_featurizer.pretrain(
+                target_schema, cache_key=self.artifacts.cache_key
+            )
+            featurizers.append(self.bert_featurizer)
+        self.pipeline = FeaturizerPipeline(featurizers)
+
+        self.adjuster = ScoreAdjuster(
+            self.store,
+            target_schema,
+            apply_dtype_filter=self.config.apply_dtype_filter,
+            apply_entity_penalty=self.config.apply_entity_penalty,
+        )
+        self.strategy: SelectionStrategy = make_strategy(
+            self.config.selection_strategy,
+            source_schema,
+            anchor_set=anchor_set,
+            seed=self.config.seed,
+        )
+        self.meta = SelfTrainingClassifier(
+            rounds=self.config.self_training_rounds,
+            confidence_threshold=self.config.self_training_threshold,
+            l2=self.config.meta_l2,
+            prior_blend_full_at=self.config.meta_prior_blend_full_at,
+        )
+        self._iteration = 0
+        self._labels_at_last_bert_update = 0
+        self.last_predictions: Predictions | None = None
+
+    # -- blocking -----------------------------------------------------------------
+
+    def _blocking_scores(self) -> np.ndarray:
+        """Vectorised embedding-cosine scores used only for candidate pruning."""
+        source_matrix = phrase_matrix(
+            self.artifacts.embeddings,
+            [split_identifier(ref.attribute) for ref in self.store.source_refs],
+        )
+        target_matrix = phrase_matrix(
+            self.artifacts.embeddings,
+            [split_identifier(ref.attribute) for ref in self.store.target_refs],
+        )
+        cosine = source_matrix @ target_matrix.T
+        return cosine[self.store.pair_source, self.store.pair_target]
+
+    # -- user feedback ---------------------------------------------------------
+
+    def record_match(self, source: AttributeRef, target: AttributeRef) -> None:
+        """The user confirmed that ``source`` maps to ``target``."""
+        self.store.set_positive(source, target)
+
+    def record_rejected(
+        self, source: AttributeRef, rejected_targets: list[AttributeRef]
+    ) -> None:
+        """The user saw these suggestions for ``source``; none was correct."""
+        for target in rejected_targets:
+            self.store.set_negative(source, target)
+
+    # -- training + prediction ---------------------------------------------------
+
+    def _labeled_views_and_labels(self) -> tuple[list[AttributePairView], list[int]]:
+        labeled_ids = self.store.labeled_ids()
+        views = self.store.views(labeled_ids)
+        labels = [int(label) for label in self.store.labels[labeled_ids]]
+        return views, labels
+
+    def _maybe_update_bert(self) -> None:
+        if self.bert_featurizer is None:
+            return
+        views, labels = self._labeled_views_and_labels()
+        positives = sum(labels)
+        if positives == 0:
+            return
+        if (
+            positives - self._labels_at_last_bert_update
+            >= self.config.update_bert_every
+        ):
+            # Feed only the informative subset: all positives plus the
+            # negatives the user actively produced for the same sources.
+            self.bert_featurizer.update(views, labels)
+            self._labels_at_last_bert_update = positives
+
+    def predict(self) -> Predictions:
+        """One full train-and-predict pass over the current label state."""
+        self._iteration += 1
+        self._maybe_update_bert()
+
+        all_ids = np.arange(self.store.num_pairs)
+        features = self.pipeline.featurize(self.store.views(all_ids))
+        self.meta.fit(features, self.store.labels.astype(np.int64))
+        raw_scores = self.meta.predict(features)
+        adjusted = self.adjuster.adjust(raw_scores)
+
+        suggestions: dict[AttributeRef, list[tuple[AttributeRef, float]]] = {}
+        confidences: dict[AttributeRef, float] = {}
+        matched = set(self.store.matched_sources())
+        for source_index, source_ref in enumerate(self.store.source_refs):
+            if source_ref in matched:
+                continue
+            pair_ids = np.flatnonzero(self.store.pair_source == source_index)
+            if pair_ids.size == 0:
+                suggestions[source_ref] = []
+                confidences[source_ref] = 0.0
+                continue
+            pair_scores = adjusted[pair_ids]
+            order = np.argsort(-pair_scores, kind="stable")[: self.config.top_k]
+            suggestions[source_ref] = [
+                (
+                    self.store.target_refs[int(self.store.pair_target[int(pair_ids[i])])],
+                    float(pair_scores[int(i)]),
+                )
+                for i in order
+            ]
+            # Prediction confidence: softmax over the attribute's candidate
+            # scores; a peaked distribution means a confident model (§IV-E2).
+            confidences[source_ref] = float(softmax(pair_scores).max())
+
+        self.last_predictions = Predictions(
+            scores=adjusted,
+            suggestions=suggestions,
+            confidences=confidences,
+            feature_names=self.pipeline.feature_names,
+        )
+        return self.last_predictions
+
+    # -- active learning ----------------------------------------------------------
+
+    def select_attributes_to_label(self, n: int | None = None) -> list[AttributeRef]:
+        """Pick the next attributes for the user to map (Section IV-E2)."""
+        n = n if n is not None else self.config.labels_per_iteration
+        confidences = (
+            self.last_predictions.confidences if self.last_predictions else {}
+        )
+        unmatched = self.store.unmatched_sources()
+        return self.strategy.select(unmatched, confidences, n)
+
+    # -- results -------------------------------------------------------------------
+
+    def result(self) -> MatchResult:
+        """The confirmed correspondences as a :class:`MatchResult`."""
+        correspondences = []
+        for source in self.store.matched_sources():
+            target = self.store.matched_target_of(source)
+            if target is not None:
+                correspondences.append(Correspondence(source=source, target=target))
+        return MatchResult.from_correspondences(correspondences, strict=False)
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration

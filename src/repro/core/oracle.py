@@ -1,0 +1,109 @@
+"""Simulated user feedback: the ground-truth oracle, optionally noisy.
+
+The paper's end-to-end experiments "simulate the users' matching workflow"
+from ground truth (§V-C) and, for the noise experiment (§V-F), corrupt a
+label with probability ``n`` to the ISS attribute with the *maximum word
+embedding similarity* to the source attribute (a plausible human mistake:
+semantically close but wrong).
+
+The oracle materialises a *belief map* at construction: for each source
+attribute, what this (possibly mistaken) user believes the correct target
+is.  Reviews and direct labels both follow the belief, so a user who
+mislabels an attribute also (consistently) confirms the wrong suggestion --
+which is exactly why the matched-correct fraction plateaus near ``1 - n`` in
+Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..embeddings.subword import SubwordEmbeddings
+from ..schema.model import AttributeRef, Schema
+from ..text.tokenize import split_identifier
+
+
+class GroundTruthOracle:
+    """Answers review/label queries from (a possibly corrupted) ground truth."""
+
+    def __init__(
+        self,
+        truth: Mapping[AttributeRef, AttributeRef],
+        target_schema: Schema,
+        noise_rate: float = 0.0,
+        embeddings: SubwordEmbeddings | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= noise_rate < 1.0:
+            raise ValueError(f"noise rate must be in [0, 1): {noise_rate}")
+        if noise_rate > 0.0 and embeddings is None:
+            raise ValueError("noisy oracle needs embeddings to pick corruptions")
+        self.truth = dict(truth)
+        self.noise_rate = noise_rate
+        self._rng = np.random.default_rng(seed)
+        self.belief: dict[AttributeRef, AttributeRef] = dict(self.truth)
+        if noise_rate > 0.0:
+            assert embeddings is not None
+            self._corrupt_belief(target_schema, embeddings)
+
+    def _corrupt_belief(self, target_schema: Schema, embeddings: SubwordEmbeddings) -> None:
+        """Corrupt each belief with probability ``noise_rate``.
+
+        The corruption target is the ISS attribute most embedding-similar to
+        the *source* attribute name, excluding the true target (§V-F).
+        """
+        target_refs = target_schema.attribute_refs()
+        target_vectors = np.stack(
+            [
+                embeddings.phrase_vector(split_identifier(ref.attribute))
+                for ref in target_refs
+            ]
+        )
+        norms = np.linalg.norm(target_vectors, axis=1)
+        norms[norms == 0.0] = 1.0
+        target_vectors = target_vectors / norms[:, None]
+
+        for source, true_target in self.truth.items():
+            if self._rng.random() >= self.noise_rate:
+                continue
+            query = embeddings.phrase_vector(split_identifier(source.attribute))
+            query_norm = float(np.linalg.norm(query))
+            if query_norm == 0.0:
+                continue
+            similarities = target_vectors @ (query / query_norm)
+            order = np.argsort(-similarities, kind="stable")
+            for index in order:
+                candidate = target_refs[int(index)]
+                if candidate != true_target:
+                    self.belief[source] = candidate
+                    break
+
+    # -- queries ---------------------------------------------------------------
+
+    def num_corrupted(self) -> int:
+        """How many source attributes this oracle is wrong about."""
+        return sum(1 for source, target in self.truth.items() if self.belief[source] != target)
+
+    def label(self, source: AttributeRef) -> AttributeRef:
+        """The target this user maps ``source`` to when asked directly."""
+        try:
+            return self.belief[source]
+        except KeyError:
+            raise KeyError(f"oracle has no ground truth for {source}") from None
+
+    def review(
+        self,
+        source: AttributeRef,
+        suggestions: Sequence[AttributeRef],
+    ) -> AttributeRef | None:
+        """Reviewing phase: pick the believed-correct suggestion, if present."""
+        believed = self.belief.get(source)
+        if believed is not None and believed in set(suggestions):
+            return believed
+        return None
+
+    def is_correct(self, source: AttributeRef, target: AttributeRef) -> bool:
+        """Whether a proposed correspondence matches the *true* ground truth."""
+        return self.truth.get(source) == target

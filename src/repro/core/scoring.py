@@ -1,0 +1,91 @@
+"""Post-prediction score adjustments (Section IV-D).
+
+Two schema-level corrections are applied to the meta-learner's raw
+probabilities:
+
+* **Data-type filter** -- ``score <- 0`` when the pair's data types are
+  incompatible ("in nearly all correct matches, the source and target
+  attributes have compatible data types").
+* **New-entity penalty** -- ``score <- z * score`` with
+  ``z = 1 / (1 + log(1 + sp(a_t, M)))`` when the candidate target's entity is
+  not yet part of the matched set ``M``; ``sp`` is the shortest-path distance
+  on the ISS join graph.  The heuristic keeps the mapping concentrated on a
+  concise, join-connected subset of the ISS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..schema.graph import JoinGraph
+from ..schema.model import Schema
+from .candidates import CandidateStore
+
+
+def dtype_compatibility_mask(store: CandidateStore) -> np.ndarray:
+    """Boolean mask, True where the pair's data types are compatible."""
+    source_dtypes = [
+        store.source_schema.attribute(ref).dtype for ref in store.source_refs
+    ]
+    target_dtypes = [
+        store.target_schema.attribute(ref).dtype for ref in store.target_refs
+    ]
+    compatibility = np.zeros((len(source_dtypes), len(target_dtypes)), dtype=bool)
+    for i, source_dtype in enumerate(source_dtypes):
+        for j, target_dtype in enumerate(target_dtypes):
+            compatibility[i, j] = source_dtype.is_compatible(target_dtype)
+    return compatibility[store.pair_source, store.pair_target]
+
+
+def entity_penalty(distance: int) -> float:
+    """The paper's penalisation term ``z = 1 / (1 + log(1 + sp))``."""
+    return 1.0 / (1.0 + np.log1p(float(distance)))
+
+
+class ScoreAdjuster:
+    """Applies the dtype filter and the new-entity penalty to raw scores."""
+
+    def __init__(
+        self,
+        store: CandidateStore,
+        target_schema: Schema,
+        apply_dtype_filter: bool = True,
+        apply_entity_penalty: bool = True,
+    ) -> None:
+        self.store = store
+        self.apply_dtype_filter = apply_dtype_filter
+        self.apply_entity_penalty = apply_entity_penalty
+        self._dtype_mask: np.ndarray | None = None
+        self._join_graph = JoinGraph(target_schema) if apply_entity_penalty else None
+        self._target_entities = [ref.entity for ref in store.target_refs]
+
+    def _current_dtype_mask(self) -> np.ndarray:
+        """Dtype mask aligned with the store (recomputed if pairs were added)."""
+        if self._dtype_mask is None or self._dtype_mask.shape[0] != self.store.num_pairs:
+            self._dtype_mask = dtype_compatibility_mask(self.store)
+        return self._dtype_mask
+
+    def adjust(self, scores: np.ndarray) -> np.ndarray:
+        """Return the adjusted copy of ``scores`` (input is not mutated)."""
+        adjusted = scores.astype(np.float64).copy()
+        if self.apply_dtype_filter:
+            adjusted[~self._current_dtype_mask()] = 0.0
+        if self._join_graph is not None:
+            matched_entities = self.store.matched_target_entities()
+            if matched_entities:
+                penalties = {
+                    entity: entity_penalty(
+                        self._join_graph.distance_to_set(entity, matched_entities)
+                    )
+                    for entity in set(self._target_entities)
+                    if entity not in matched_entities
+                }
+                if penalties:
+                    factor = np.asarray(
+                        [
+                            penalties.get(self._target_entities[int(t)], 1.0)
+                            for t in self.store.pair_target
+                        ]
+                    )
+                    adjusted *= factor
+        return adjusted

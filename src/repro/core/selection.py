@@ -1,0 +1,107 @@
+"""Attribute-selection strategies for active learning (Section IV-E2).
+
+After the reviewing phase, LSM picks ``N`` source attributes for the user to
+map directly.  The paper's *least confident anchor* strategy restricts the
+choice to an anchor set (by default the PK/FK attributes of the source
+schema, which "carry a lot of information") and, within it, picks the
+attributes the model is least confident about; once every anchor is labeled
+it falls back to least-confidence over all remaining attributes.  A purely
+random strategy serves as the Fig. 5 comparison point.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..schema.model import AttributeRef, Schema
+
+
+class SelectionStrategy(Protocol):
+    """Chooses which unlabeled source attributes the user should label next."""
+
+    def select(
+        self,
+        unlabeled: Sequence[AttributeRef],
+        confidences: Mapping[AttributeRef, float],
+        n: int,
+    ) -> list[AttributeRef]: ...
+
+
+class RandomSelection:
+    """Uniformly random choice among the unlabeled attributes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def select(
+        self,
+        unlabeled: Sequence[AttributeRef],
+        confidences: Mapping[AttributeRef, float],
+        n: int,
+    ) -> list[AttributeRef]:
+        if not unlabeled:
+            return []
+        count = min(n, len(unlabeled))
+        chosen = self._rng.choice(len(unlabeled), size=count, replace=False)
+        return [unlabeled[int(i)] for i in chosen]
+
+
+class LeastConfidentAnchorSelection:
+    """The paper's smart strategy: least-confident *anchor* attributes first.
+
+    Parameters
+    ----------
+    source_schema:
+        Used to derive the default anchor set ``{e.pk, e.fks | e in E_s}``.
+    anchor_set:
+        Optional user-provided anchor set overriding the default.
+    """
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        anchor_set: Sequence[AttributeRef] | None = None,
+    ) -> None:
+        if anchor_set is not None:
+            self.anchors: list[AttributeRef] = list(anchor_set)
+        else:
+            self.anchors = source_schema.key_refs()
+        self._anchor_set = set(self.anchors)
+        self._first_call = True
+
+    def select(
+        self,
+        unlabeled: Sequence[AttributeRef],
+        confidences: Mapping[AttributeRef, float],
+        n: int,
+    ) -> list[AttributeRef]:
+        if not unlabeled:
+            return []
+        unlabeled_anchors = [ref for ref in self.anchors if ref in set(unlabeled)]
+
+        if self._first_call:
+            # "At the first iteration, LSM selects the first N attributes
+            # from the anchor set."
+            self._first_call = False
+            if unlabeled_anchors:
+                return unlabeled_anchors[:n]
+
+        pool = unlabeled_anchors if unlabeled_anchors else list(unlabeled)
+        ranked = sorted(pool, key=lambda ref: (confidences.get(ref, 0.0), str(ref)))
+        return ranked[:n]
+
+
+def make_strategy(
+    name: str,
+    source_schema: Schema,
+    anchor_set: Sequence[AttributeRef] | None = None,
+    seed: int = 0,
+) -> SelectionStrategy:
+    """Factory keyed by ``LsmConfig.selection_strategy``."""
+    if name == "least_confident_anchor":
+        return LeastConfidentAnchorSelection(source_schema, anchor_set)
+    if name == "random":
+        return RandomSelection(seed)
+    raise ValueError(f"unknown selection strategy: {name}")

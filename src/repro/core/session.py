@@ -1,0 +1,173 @@
+"""Interactive matching session: the user workflow of Section V-C.
+
+Each iteration simulates the paper's loop:
+
+1. LSM retrains and produces top-k suggestions for every unmatched source
+   attribute (``matcher.predict``).
+2. The user *reviews* the suggestions, marking a suggestion as the match
+   when the correct target appears among the top-k (review costs no label);
+   unhelpful suggestion lists produce negative labels.
+3. LSM *selects* N attributes (least-confident-anchor or random) and the
+   user maps each directly to the ISS -- this is what the human labeling
+   cost counts.
+4. Repeat until the full source schema is matched.
+
+The session records, per iteration, the cumulative number of direct labels,
+how many attributes are matched, and how many of those matches are correct
+against the *true* ground truth (they can differ under a noisy oracle),
+plus the wall-clock response time of the retrain-and-predict step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..schema.model import MatchResult
+from .matcher import LearnedSchemaMatcher
+from .oracle import GroundTruthOracle
+
+
+@dataclass
+class IterationRecord:
+    """State snapshot after one interaction iteration."""
+
+    iteration: int
+    labels_provided: int
+    matched_total: int
+    matched_correct: int
+    reviewed: int
+    response_seconds: float
+
+
+@dataclass
+class SessionResult:
+    """Full trace of an interactive session."""
+
+    records: list[IterationRecord]
+    num_source_attributes: int
+    result: MatchResult
+    completed: bool
+
+    @property
+    def total_labels(self) -> int:
+        return self.records[-1].labels_provided if self.records else 0
+
+    @property
+    def label_fraction_used(self) -> float:
+        """Human labeling cost as a fraction of the source schema size."""
+        if self.num_source_attributes == 0:
+            return 0.0
+        return self.total_labels / self.num_source_attributes
+
+    def curve(self) -> tuple[list[float], list[float]]:
+        """(percent labels provided, percent correctly matched) per iteration.
+
+        This is exactly the pair of axes of Figures 5-8.
+        """
+        xs = [
+            100.0 * record.labels_provided / self.num_source_attributes
+            for record in self.records
+        ]
+        ys = [
+            100.0 * record.matched_correct / self.num_source_attributes
+            for record in self.records
+        ]
+        return xs, ys
+
+    def labels_to_reach(self, correct_fraction: float) -> float | None:
+        """Percent of labels needed to reach a correct-matched fraction.
+
+        Returns None when the session never reaches the threshold.
+        """
+        target = correct_fraction * self.num_source_attributes
+        for record in self.records:
+            if record.matched_correct >= target:
+                return 100.0 * record.labels_provided / self.num_source_attributes
+        return None
+
+    def mean_response_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.response_seconds for record in self.records) / len(self.records)
+
+
+class MatchingSession:
+    """Drives a matcher against an oracle until the schema is fully matched."""
+
+    def __init__(
+        self,
+        matcher: LearnedSchemaMatcher,
+        oracle: GroundTruthOracle,
+        max_iterations: int | None = None,
+    ) -> None:
+        self.matcher = matcher
+        self.oracle = oracle
+        num_sources = matcher.store.num_sources
+        # Each iteration directly labels >= 1 attribute, so this terminates.
+        self.max_iterations = max_iterations or (num_sources + 5)
+
+    def _count_correct(self) -> int:
+        correct = 0
+        for source in self.matcher.store.matched_sources():
+            target = self.matcher.store.matched_target_of(source)
+            if target is not None and self.oracle.is_correct(source, target):
+                correct += 1
+        return correct
+
+    def run(self) -> SessionResult:
+        """Run the loop to completion (or ``max_iterations``)."""
+        store = self.matcher.store
+        records: list[IterationRecord] = []
+        labels_provided = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            started = time.perf_counter()
+            predictions = self.matcher.predict()
+            response_seconds = time.perf_counter() - started
+
+            # --- reviewing phase (free of labeling cost) -----------------
+            reviewed = 0
+            for source, ranked in predictions.suggestions.items():
+                shown = [target for target, _ in ranked]
+                if not shown:
+                    continue
+                reviewed += 1
+                choice = self.oracle.review(source, shown)
+                if choice is not None:
+                    self.matcher.record_match(source, choice)
+                else:
+                    self.matcher.record_rejected(source, shown)
+
+            # --- labeling phase (costs N labels) --------------------------
+            to_label = self.matcher.select_attributes_to_label()
+            for source in to_label:
+                self.matcher.record_match(source, self.oracle.label(source))
+                labels_provided += 1
+
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    labels_provided=labels_provided,
+                    matched_total=len(store.matched_sources()),
+                    matched_correct=self._count_correct(),
+                    reviewed=reviewed,
+                    response_seconds=response_seconds,
+                )
+            )
+            if not store.unmatched_sources():
+                break
+
+        completed = not store.unmatched_sources()
+        return SessionResult(
+            records=records,
+            num_source_attributes=store.num_sources,
+            result=self.matcher.result(),
+            completed=completed,
+        )
+
+
+def manual_labeling_curve(num_attributes: int) -> tuple[list[float], list[float]]:
+    """The y = x reference line of Figures 5-8: one label matches one attribute."""
+    xs = [100.0 * i / num_attributes for i in range(num_attributes + 1)]
+    return xs, list(xs)

@@ -1,0 +1,59 @@
+"""Evaluation datasets: retail ISS, customers A-E, public schema pairs."""
+
+from .corruption import CorruptionMix, NameCorruptor, apply_style
+from .customers import (
+    CUSTOMER_SPECS,
+    CustomerDataset,
+    CustomerSpec,
+    generate_all_customers,
+    generate_customer,
+)
+from .iss import (
+    ISS_NUM_ATTRIBUTES,
+    ISS_NUM_ENTITIES,
+    ISS_NUM_RELATIONSHIPS,
+    build_retail_iss,
+)
+from .public import (
+    PublicDataset,
+    build_all_public,
+    build_ipfqr,
+    build_movielens_imdb,
+    build_rdb_star,
+)
+from .registry import (
+    ALL_NAMES,
+    CUSTOMER_NAMES,
+    PUBLIC_NAMES,
+    MatchingTask,
+    load_all,
+    load_dataset,
+    retail_iss,
+)
+
+__all__ = [
+    "ALL_NAMES",
+    "CUSTOMER_NAMES",
+    "CUSTOMER_SPECS",
+    "CorruptionMix",
+    "CustomerDataset",
+    "CustomerSpec",
+    "ISS_NUM_ATTRIBUTES",
+    "ISS_NUM_ENTITIES",
+    "ISS_NUM_RELATIONSHIPS",
+    "MatchingTask",
+    "NameCorruptor",
+    "PUBLIC_NAMES",
+    "PublicDataset",
+    "apply_style",
+    "build_all_public",
+    "build_ipfqr",
+    "build_movielens_imdb",
+    "build_rdb_star",
+    "build_retail_iss",
+    "generate_all_customers",
+    "generate_customer",
+    "load_all",
+    "load_dataset",
+    "retail_iss",
+]

@@ -1,0 +1,208 @@
+"""Name corruption: how customer schemata diverge from the ISS.
+
+The paper's customer schemata are hard for three reasons (Section III): the
+names are abbreviated, use customer-specific terminology, or are
+*semantically equivalent but lexically different* from the ISS names (>30 %
+of matches).  The :class:`NameCorruptor` reproduces those transformations:
+
+* **synonym** -- replace the longest lexicon sub-phrase of the name with a
+  random synonym (``price_change_percentage`` -> ``discount``);
+* **abbreviate** -- shrink known words to database abbreviations
+  (``quantity`` -> ``qty``), including whole-phrase acronyms
+  (``european_article_number`` -> ``ean``);
+* **drop** -- drop a generic trailing token (``_code``, ``_text``, ...);
+* **restyle** -- keep the words but change the convention (camelCase etc.).
+
+Each customer gets its own naming convention and transformation mix, so the
+five generated schemata differ in character as the real ones do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..text.abbrev import _REVERSE as _WORD_TO_ABBREV  # expansion word -> abbrev
+from ..text.abbrev import ABBREVIATIONS
+from ..text.lexicon import SynonymLexicon
+from ..text.tokenize import split_identifier
+
+#: Multi-word expansions reversed: "european article number" -> "ean".
+_PHRASE_TO_ABBREV: dict[str, str] = {
+    expansion: abbreviation
+    for abbreviation, expansion in ABBREVIATIONS.items()
+    if " " in expansion
+}
+
+#: Generic tokens that customers commonly omit.
+_DROPPABLE = {"code", "text", "value", "number", "record", "flag", "name"}
+
+NamingStyle = str  # "snake" | "camel" | "pascal" | "compact"
+
+
+def apply_style(tokens: list[str], style: NamingStyle) -> str:
+    """Join word tokens under a naming convention."""
+    if not tokens:
+        raise ValueError("cannot style an empty token list")
+    if style == "snake":
+        return "_".join(tokens)
+    if style == "camel":
+        return tokens[0] + "".join(token.capitalize() for token in tokens[1:])
+    if style == "pascal":
+        return "".join(token.capitalize() for token in tokens)
+    if style == "compact":
+        return "".join(tokens)
+    raise ValueError(f"unknown naming style: {style!r}")
+
+
+@dataclass
+class CorruptionMix:
+    """Probabilities of each transformation (the remainder restyles only).
+
+    ``compound`` is the chance of applying a *second* transformation on top
+    of the first -- real customer names often combine a synonym rename with
+    an abbreviation (``price_change_percentage`` -> ``mrkdwn_pct``).
+    """
+
+    synonym: float = 0.35
+    abbreviate: float = 0.25
+    drop: float = 0.15
+    compound: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.synonym + self.abbreviate + self.drop > 1.0:
+            raise ValueError("transformation probabilities exceed 1")
+
+
+class NameCorruptor:
+    """Stateful corruptor producing customer-style names from ISS names."""
+
+    def __init__(
+        self,
+        lexicon: SynonymLexicon,
+        rng: np.random.Generator,
+        style: NamingStyle = "snake",
+        mix: CorruptionMix | None = None,
+    ) -> None:
+        self.lexicon = lexicon
+        self.rng = rng
+        self.style = style
+        self.mix = mix or CorruptionMix()
+        #: How each corrupted name was produced (diagnostics + dataset stats).
+        self.transform_log: list[tuple[str, str, str]] = []
+
+    # -- individual transformations -------------------------------------------
+
+    def _synonym_tokens(self, tokens: list[str]) -> list[str] | None:
+        """Replace the longest lexicon sub-phrase with a random synonym."""
+        for span in range(len(tokens), 0, -1):
+            for start in range(0, len(tokens) - span + 1):
+                phrase = " ".join(tokens[start : start + span])
+                synonym = self.lexicon.random_synonym(phrase, self.rng)
+                if synonym is not None and synonym != phrase:
+                    return tokens[:start] + synonym.split() + tokens[start + span :]
+        return None
+
+    def _abbreviate_tokens(self, tokens: list[str]) -> list[str] | None:
+        """Acronymise a known multi-word phrase or shrink individual words."""
+        phrase = " ".join(tokens)
+        for expansion, abbreviation in _PHRASE_TO_ABBREV.items():
+            if expansion in phrase:
+                replaced = phrase.replace(expansion, abbreviation, 1)
+                return replaced.split()
+        abbreviated = [
+            _WORD_TO_ABBREV.get(token, token) if self.rng.random() < 0.8 else token
+            for token in tokens
+        ]
+        if abbreviated == tokens:
+            return None
+        return abbreviated
+
+    def _drop_tokens(self, tokens: list[str]) -> list[str] | None:
+        if len(tokens) < 2:
+            return None
+        droppable = [i for i, token in enumerate(tokens) if token in _DROPPABLE]
+        if not droppable:
+            # Fall back to dropping a middle token of a long name.
+            if len(tokens) >= 4:
+                droppable = list(range(1, len(tokens) - 1))
+            else:
+                return None
+        index = droppable[int(self.rng.integers(len(droppable)))]
+        return tokens[:index] + tokens[index + 1 :]
+
+    def _restyle_tokens(self, tokens: list[str]) -> list[str]:
+        """Customer-jargon surface noise: reorder, devowel, or suffix."""
+        roll = float(self.rng.random())
+        if roll < 0.35 and len(tokens) >= 2:
+            # Swap two adjacent tokens ("date_order" for "order_date").
+            index = int(self.rng.integers(len(tokens) - 1))
+            swapped = list(tokens)
+            swapped[index], swapped[index + 1] = swapped[index + 1], swapped[index]
+            return swapped
+        if roll < 0.6:
+            # Drop interior vowels of the longest token ("dscnt").
+            longest = max(range(len(tokens)), key=lambda i: len(tokens[i]))
+            word = tokens[longest]
+            if len(word) > 4:
+                devowelled = word[0] + "".join(
+                    ch for ch in word[1:-1] if ch not in "aeiou"
+                ) + word[-1]
+                if devowelled != word and len(devowelled) >= 3:
+                    restyled = list(tokens)
+                    restyled[longest] = devowelled
+                    return restyled
+        if roll < 0.8:
+            suffix = ["fld", "val", "col", "x"][int(self.rng.integers(4))]
+            return list(tokens) + [suffix]
+        return list(tokens)
+
+    # -- main API -----------------------------------------------------------------
+
+    def corrupt(self, name: str) -> tuple[str, str]:
+        """Corrupt an ISS identifier; returns (new name, transform kind)."""
+        tokens = split_identifier(name)
+        roll = float(self.rng.random())
+        new_tokens: list[str] | None = None
+        kind = "restyle"
+        if roll < self.mix.synonym:
+            new_tokens = self._synonym_tokens(tokens)
+            kind = "synonym"
+        elif roll < self.mix.synonym + self.mix.abbreviate:
+            new_tokens = self._abbreviate_tokens(tokens)
+            kind = "abbreviate"
+        elif roll < self.mix.synonym + self.mix.abbreviate + self.mix.drop:
+            new_tokens = self._drop_tokens(tokens)
+            kind = "drop"
+        if new_tokens is None:
+            new_tokens = self._restyle_tokens(tokens)
+            kind = "restyle"
+        elif self.rng.random() < self.mix.compound:
+            # Second-stage corruption (e.g. synonym + abbreviation).
+            compounded = self._abbreviate_tokens(new_tokens)
+            if compounded is None:
+                compounded = self._restyle_tokens(new_tokens)
+            new_tokens = compounded
+        corrupted = apply_style(new_tokens, self.style)
+        self.transform_log.append((name, corrupted, kind))
+        return corrupted, kind
+
+    def corrupt_unique(self, name: str, taken: set[str]) -> tuple[str, str]:
+        """Corrupt with uniqueness within ``taken`` (retries, then suffixes)."""
+        for _ in range(8):
+            corrupted, kind = self.corrupt(name)
+            if corrupted.lower() not in taken:
+                return corrupted, kind
+        base, kind = self.corrupt(name)
+        suffix = 2
+        while f"{base}_{suffix}".lower() in taken:
+            suffix += 1
+        return f"{base}_{suffix}", kind
+
+    def transform_share(self, kind: str) -> float:
+        """Fraction of corrupted names produced by ``kind`` (e.g. "synonym")."""
+        if not self.transform_log:
+            return 0.0
+        hits = sum(1 for _, _, logged in self.transform_log if logged == kind)
+        return hits / len(self.transform_log)

@@ -1,0 +1,793 @@
+"""Retail industry-specific schema (ISS) generator.
+
+The paper's target schema is a proprietary Microsoft retail ISS with **92
+entities, 1218 attributes and 184 PK/FK relationships**.  This module builds
+a synthetic stand-in with exactly those statistics:
+
+* 92 hand-named retail entities across nine subject areas (party, product,
+  transactions, store/channel, promotion, workforce, supply, finance,
+  digital/analytics);
+* hand-specified core attributes for the entities the paper's examples rely
+  on (``TransactionLine.price_change_percentage``,
+  ``Product.european_article_number``, ...);
+* a declared FK backbone extended programmatically to exactly 184
+  relationships;
+* filler attributes drawn from per-area pools (built on the synonym
+  lexicon's retail vocabulary, so customer-schema corruption has synonyms to
+  work with) until the attribute count is exactly 1218.
+
+Every attribute carries a natural-language description -- the ISS "is
+typically well-documented" -- which feeds the self-explaining pre-training
+samples.  Generation is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..schema.model import (
+    Attribute,
+    AttributeRef,
+    DataType,
+    Entity,
+    Relationship,
+    Schema,
+)
+from ..text.abbrev import expand_tokens
+from ..text.tokenize import split_identifier
+
+ISS_NUM_ENTITIES = 92
+ISS_NUM_ATTRIBUTES = 1218
+ISS_NUM_RELATIONSHIPS = 184
+
+# --------------------------------------------------------------------------
+# Entity catalogue: (entity name, subject area)
+# --------------------------------------------------------------------------
+
+_ENTITIES: list[tuple[str, str]] = [
+    # party ------------------------------------------------------------------
+    ("Customer", "party"),
+    ("CustomerAddress", "party"),
+    ("CustomerEmail", "party"),
+    ("CustomerPhone", "party"),
+    ("CustomerLoyalty", "party"),
+    ("CustomerSegment", "party"),
+    ("CustomerPreference", "party"),
+    ("CustomerAccount", "party"),
+    ("Household", "party"),
+    ("ContactHistory", "party"),
+    # product ------------------------------------------------------------------
+    ("Product", "product"),
+    ("ProductCategory", "product"),
+    ("ProductSubcategory", "product"),
+    ("Brand", "product"),
+    ("ProductPriceList", "product"),
+    ("ProductCost", "product"),
+    ("ProductImage", "product"),
+    ("ProductAttribute", "product"),
+    ("ProductRelatedStatus", "product"),
+    ("ProductBarcode", "product"),
+    ("ProductSupplier", "product"),
+    ("ProductReview", "product"),
+    ("ProductInventory", "product"),
+    ("ProductHierarchy", "product"),
+    ("SeasonalAssortment", "product"),
+    # transactions ---------------------------------------------------------------
+    ("Transaction", "transaction"),
+    ("TransactionLine", "transaction"),
+    ("TransactionPayment", "transaction"),
+    ("TransactionTax", "transaction"),
+    ("TransactionDiscount", "transaction"),
+    ("ReturnTransaction", "transaction"),
+    ("ReturnLine", "transaction"),
+    ("Receipt", "transaction"),
+    ("Invoice", "transaction"),
+    ("InvoiceLine", "transaction"),
+    ("SalesOrder", "transaction"),
+    ("SalesOrderLine", "transaction"),
+    ("Shipment", "transaction"),
+    ("ShipmentLine", "transaction"),
+    ("DeliverySchedule", "transaction"),
+    ("PickupSchedule", "transaction"),
+    # store / channel -------------------------------------------------------------
+    ("Store", "store"),
+    ("StoreAddress", "store"),
+    ("StoreHours", "store"),
+    ("Register", "store"),
+    ("Channel", "store"),
+    ("Region", "store"),
+    ("District", "store"),
+    ("Warehouse", "store"),
+    ("WarehouseZone", "store"),
+    ("DistributionCenter", "store"),
+    # promotion --------------------------------------------------------------------
+    ("Promotion", "promotion"),
+    ("PromotionProduct", "promotion"),
+    ("Coupon", "promotion"),
+    ("CouponRedemption", "promotion"),
+    ("LoyaltyProgram", "promotion"),
+    ("LoyaltyTransaction", "promotion"),
+    ("GiftCard", "promotion"),
+    ("GiftCardTransaction", "promotion"),
+    ("PriceChangeEvent", "promotion"),
+    ("MarkdownSchedule", "promotion"),
+    # workforce --------------------------------------------------------------------
+    ("Employee", "workforce"),
+    ("EmployeeRole", "workforce"),
+    ("EmployeeSchedule", "workforce"),
+    ("Cashier", "workforce"),
+    ("Department", "workforce"),
+    ("Payroll", "workforce"),
+    # supply -----------------------------------------------------------------------
+    ("Vendor", "supply"),
+    ("VendorContract", "supply"),
+    ("PurchaseOrder", "supply"),
+    ("PurchaseOrderLine", "supply"),
+    ("SupplierInvoice", "supply"),
+    ("InventoryAdjustment", "supply"),
+    ("StockCount", "supply"),
+    ("ReplenishmentPlan", "supply"),
+    # finance ----------------------------------------------------------------------
+    ("Currency", "finance"),
+    ("ExchangeRate", "finance"),
+    ("TaxRate", "finance"),
+    ("PaymentMethod", "finance"),
+    ("Ledger", "finance"),
+    ("LedgerEntry", "finance"),
+    ("BudgetPlan", "finance"),
+    ("SalesForecast", "finance"),
+    # digital / analytics -------------------------------------------------------
+    ("WebSession", "digital"),
+    ("WebOrder", "digital"),
+    ("CartAbandonment", "digital"),
+    ("WishList", "digital"),
+    ("CustomerFeedback", "digital"),
+    ("NpsSurvey", "digital"),
+    ("CampaignResponse", "digital"),
+    ("EmailCampaign", "digital"),
+    ("SegmentMembership", "digital"),
+]
+
+# --------------------------------------------------------------------------
+# Core attributes for paper-referenced entities: (entity, name, dtype)
+# --------------------------------------------------------------------------
+
+_CORE_ATTRIBUTES: dict[str, list[tuple[str, DataType]]] = {
+    "Product": [
+        ("primary_brand_id", DataType.INTEGER),
+        ("product_status_id", DataType.INTEGER),
+        ("european_article_number", DataType.STRING),
+        ("universal_product_code", DataType.STRING),
+        ("stock_keeping_unit", DataType.STRING),
+        ("product_name", DataType.STRING),
+        ("product_description", DataType.STRING),
+        ("is_active", DataType.BOOLEAN),
+    ],
+    "TransactionLine": [
+        ("quantity", DataType.DECIMAL),
+        ("price_change_percentage", DataType.DECIMAL),
+        ("product_item_price_amount", DataType.DECIMAL),
+        ("extended_amount", DataType.DECIMAL),
+        ("unit_of_measure_code", DataType.STRING),
+        ("line_sequence_number", DataType.INTEGER),
+    ],
+    "SalesOrderLine": [
+        ("total_order_line_amount", DataType.DECIMAL),
+        ("ordered_quantity", DataType.DECIMAL),
+        ("line_status_code", DataType.STRING),
+    ],
+    "SalesOrder": [
+        ("items_subtotal_amount", DataType.DECIMAL),
+        ("order_total_amount", DataType.DECIMAL),
+        ("order_placed_timestamp", DataType.DATETIME),
+    ],
+    "PickupSchedule": [
+        ("pick_up_estimated_time", DataType.DATETIME),
+        ("promised_available_curbside_pickup_timestamp", DataType.DATETIME),
+    ],
+    "ProductPriceList": [
+        ("suggested_retail_price", DataType.DECIMAL),
+        ("list_price_amount", DataType.DECIMAL),
+        ("price_effective_start_date", DataType.DATE),
+        ("price_effective_end_date", DataType.DATE),
+    ],
+    "Brand": [
+        ("brand_name", DataType.STRING),
+        ("brand_description", DataType.STRING),
+    ],
+    "Promotion": [
+        ("discount_percentage", DataType.DECIMAL),
+        ("promotion_name", DataType.STRING),
+        ("promotion_start_date", DataType.DATE),
+        ("promotion_end_date", DataType.DATE),
+    ],
+    "Customer": [
+        ("first_name", DataType.STRING),
+        ("last_name", DataType.STRING),
+        ("birth_date", DataType.DATE),
+        ("email_address", DataType.STRING),
+        ("gender_code", DataType.STRING),
+    ],
+    "Store": [
+        ("store_name", DataType.STRING),
+        ("store_open_date", DataType.DATE),
+        ("selling_square_footage", DataType.DECIMAL),
+    ],
+    "Transaction": [
+        ("transaction_timestamp", DataType.DATETIME),
+        ("transaction_total_amount", DataType.DECIMAL),
+        ("tendered_amount", DataType.DECIMAL),
+    ],
+    "ProductRelatedStatus": [
+        ("status_name", DataType.STRING),
+        ("status_description", DataType.STRING),
+    ],
+}
+
+# --------------------------------------------------------------------------
+# Declared FK backbone: (child entity, parent entity).  The child receives a
+# ``<parent snake>_id`` attribute referencing the parent's primary key.
+# --------------------------------------------------------------------------
+
+_DECLARED_FKS: list[tuple[str, str]] = [
+    ("CustomerAddress", "Customer"),
+    ("CustomerEmail", "Customer"),
+    ("CustomerPhone", "Customer"),
+    ("CustomerLoyalty", "Customer"),
+    ("CustomerLoyalty", "LoyaltyProgram"),
+    ("CustomerPreference", "Customer"),
+    ("CustomerAccount", "Customer"),
+    ("Customer", "Household"),
+    ("Customer", "CustomerSegment"),
+    ("ContactHistory", "Customer"),
+    ("Product", "Brand"),
+    ("Product", "ProductSubcategory"),
+    ("Product", "ProductRelatedStatus"),
+    ("ProductSubcategory", "ProductCategory"),
+    ("ProductPriceList", "Product"),
+    ("ProductCost", "Product"),
+    ("ProductImage", "Product"),
+    ("ProductAttribute", "Product"),
+    ("ProductBarcode", "Product"),
+    ("ProductSupplier", "Product"),
+    ("ProductSupplier", "Vendor"),
+    ("ProductReview", "Product"),
+    ("ProductReview", "Customer"),
+    ("ProductInventory", "Product"),
+    ("ProductInventory", "Store"),
+    ("ProductHierarchy", "ProductCategory"),
+    ("SeasonalAssortment", "Product"),
+    ("Transaction", "Store"),
+    ("Transaction", "Customer"),
+    ("Transaction", "Register"),
+    ("Transaction", "Channel"),
+    ("TransactionLine", "Transaction"),
+    ("TransactionLine", "Product"),
+    ("TransactionPayment", "Transaction"),
+    ("TransactionPayment", "PaymentMethod"),
+    ("TransactionTax", "Transaction"),
+    ("TransactionTax", "TaxRate"),
+    ("TransactionDiscount", "TransactionLine"),
+    ("TransactionDiscount", "Promotion"),
+    ("ReturnTransaction", "Transaction"),
+    ("ReturnTransaction", "Store"),
+    ("ReturnLine", "ReturnTransaction"),
+    ("ReturnLine", "Product"),
+    ("Receipt", "Transaction"),
+    ("Invoice", "Customer"),
+    ("InvoiceLine", "Invoice"),
+    ("InvoiceLine", "Product"),
+    ("SalesOrder", "Customer"),
+    ("SalesOrder", "Channel"),
+    ("SalesOrderLine", "SalesOrder"),
+    ("SalesOrderLine", "Product"),
+    ("Shipment", "SalesOrder"),
+    ("Shipment", "Warehouse"),
+    ("ShipmentLine", "Shipment"),
+    ("ShipmentLine", "SalesOrderLine"),
+    ("DeliverySchedule", "Shipment"),
+    ("PickupSchedule", "SalesOrder"),
+    ("PickupSchedule", "Store"),
+    ("StoreAddress", "Store"),
+    ("StoreHours", "Store"),
+    ("Register", "Store"),
+    ("Store", "District"),
+    ("District", "Region"),
+    ("Warehouse", "Region"),
+    ("WarehouseZone", "Warehouse"),
+    ("DistributionCenter", "Region"),
+    ("PromotionProduct", "Promotion"),
+    ("PromotionProduct", "Product"),
+    ("Promotion", "Channel"),
+    ("Coupon", "Promotion"),
+    ("CouponRedemption", "Coupon"),
+    ("CouponRedemption", "Transaction"),
+    ("LoyaltyTransaction", "CustomerLoyalty"),
+    ("LoyaltyTransaction", "Transaction"),
+    ("GiftCard", "Customer"),
+    ("GiftCardTransaction", "GiftCard"),
+    ("GiftCardTransaction", "Transaction"),
+    ("PriceChangeEvent", "Product"),
+    ("MarkdownSchedule", "Product"),
+    ("MarkdownSchedule", "Store"),
+    ("Employee", "Department"),
+    ("Employee", "Store"),
+    ("EmployeeRole", "Employee"),
+    ("EmployeeSchedule", "Employee"),
+    ("Cashier", "Employee"),
+    ("Cashier", "Register"),
+    ("Payroll", "Employee"),
+    ("VendorContract", "Vendor"),
+    ("PurchaseOrder", "Vendor"),
+    ("PurchaseOrder", "Warehouse"),
+    ("PurchaseOrderLine", "PurchaseOrder"),
+    ("PurchaseOrderLine", "Product"),
+    ("SupplierInvoice", "Vendor"),
+    ("SupplierInvoice", "PurchaseOrder"),
+    ("InventoryAdjustment", "ProductInventory"),
+    ("InventoryAdjustment", "Employee"),
+    ("StockCount", "Warehouse"),
+    ("StockCount", "Product"),
+    ("ReplenishmentPlan", "Product"),
+    ("ReplenishmentPlan", "DistributionCenter"),
+    ("ExchangeRate", "Currency"),
+    ("TaxRate", "Region"),
+    ("LedgerEntry", "Ledger"),
+    ("LedgerEntry", "Transaction"),
+    ("BudgetPlan", "Department"),
+    ("SalesForecast", "Product"),
+    ("SalesForecast", "Store"),
+    ("WebSession", "Customer"),
+    ("WebOrder", "WebSession"),
+    ("WebOrder", "SalesOrder"),
+    ("CartAbandonment", "WebSession"),
+    ("WishList", "Customer"),
+    ("WishList", "Product"),
+    ("CustomerFeedback", "Customer"),
+    ("CustomerFeedback", "Store"),
+    ("NpsSurvey", "Customer"),
+    ("CampaignResponse", "EmailCampaign"),
+    ("CampaignResponse", "Customer"),
+    ("EmailCampaign", "CustomerSegment"),
+    ("SegmentMembership", "CustomerSegment"),
+    ("SegmentMembership", "Customer"),
+]
+
+# Extra role-named FKs appended (in order) until the relationship count hits
+# ISS_NUM_RELATIONSHIPS: (child, parent, attribute name).
+_EXTRA_FKS: list[tuple[str, str, str]] = [
+    ("Transaction", "Employee", "cashier_employee_id"),
+    ("Transaction", "Currency", "transaction_currency_id"),
+    ("SalesOrder", "Store", "fulfillment_store_id"),
+    ("SalesOrder", "Currency", "order_currency_id"),
+    ("ReturnTransaction", "Employee", "approving_employee_id"),
+    ("Invoice", "Currency", "invoice_currency_id"),
+    ("PurchaseOrder", "Employee", "buyer_employee_id"),
+    ("PurchaseOrder", "Currency", "purchase_currency_id"),
+    ("Product", "Vendor", "primary_vendor_id"),
+    ("Promotion", "Store", "sponsoring_store_id"),
+    ("Shipment", "DistributionCenter", "origin_distribution_center_id"),
+    ("Employee", "Employee", "manager_employee_id"),
+    ("Store", "Warehouse", "primary_warehouse_id"),
+    ("CustomerAccount", "Currency", "account_currency_id"),
+    ("Ledger", "Currency", "ledger_currency_id"),
+    ("BudgetPlan", "Currency", "budget_currency_id"),
+    ("GiftCard", "Currency", "gift_card_currency_id"),
+    ("ProductCost", "Currency", "cost_currency_id"),
+    ("ProductPriceList", "Currency", "price_currency_id"),
+    ("SupplierInvoice", "Currency", "supplier_invoice_currency_id"),
+    ("SalesForecast", "Channel", "forecast_channel_id"),
+    ("WebOrder", "Channel", "web_channel_id"),
+    ("EmailCampaign", "Employee", "campaign_owner_employee_id"),
+    ("DeliverySchedule", "Employee", "driver_employee_id"),
+    ("StockCount", "Employee", "counting_employee_id"),
+    ("TransactionDiscount", "Coupon", "applied_coupon_id"),
+    ("ReplenishmentPlan", "Vendor", "replenishment_vendor_id"),
+    ("CartAbandonment", "Product", "last_viewed_product_id"),
+    ("NpsSurvey", "Channel", "survey_channel_id"),
+    ("ProductHierarchy", "ProductSubcategory", "leaf_subcategory_id"),
+    ("Receipt", "Store", "issuing_store_id"),
+    ("Receipt", "Customer", "receipt_customer_id"),
+    ("Invoice", "SalesOrder", "billed_sales_order_id"),
+    ("InvoiceLine", "SalesOrderLine", "billed_order_line_id"),
+    ("ShipmentLine", "Product", "shipped_product_id"),
+    ("DeliverySchedule", "Store", "delivering_store_id"),
+    ("PickupSchedule", "Employee", "preparing_employee_id"),
+    ("StoreHours", "Region", "observed_region_id"),
+    ("Register", "Channel", "register_channel_id"),
+    ("Warehouse", "District", "serving_district_id"),
+    ("WarehouseZone", "Employee", "zone_supervisor_employee_id"),
+    ("DistributionCenter", "Warehouse", "overflow_warehouse_id"),
+    ("Coupon", "Channel", "issuing_channel_id"),
+    ("CouponRedemption", "Customer", "redeeming_customer_id"),
+    ("LoyaltyProgram", "Channel", "enrollment_channel_id"),
+    ("LoyaltyTransaction", "Store", "earning_store_id"),
+    ("GiftCardTransaction", "Store", "redemption_store_id"),
+    ("PriceChangeEvent", "Employee", "approving_price_employee_id"),
+    ("PriceChangeEvent", "Promotion", "triggering_promotion_id"),
+    ("MarkdownSchedule", "Employee", "scheduling_employee_id"),
+    ("EmployeeRole", "Department", "role_department_id"),
+    ("EmployeeSchedule", "Store", "scheduled_store_id"),
+    ("Payroll", "Currency", "payroll_currency_id"),
+    ("VendorContract", "Currency", "contract_currency_id"),
+    ("VendorContract", "Employee", "negotiating_employee_id"),
+    ("PurchaseOrderLine", "Warehouse", "receiving_warehouse_id"),
+    ("SupplierInvoice", "Employee", "approving_finance_employee_id"),
+    ("InventoryAdjustment", "Warehouse", "adjusted_warehouse_id"),
+    ("ReplenishmentPlan", "Warehouse", "target_warehouse_id"),
+    ("ExchangeRate", "Currency", "quote_currency_id"),
+    ("TaxRate", "Currency", "tax_currency_id"),
+    ("LedgerEntry", "Currency", "entry_currency_id"),
+    ("BudgetPlan", "Region", "budget_region_id"),
+    ("SalesForecast", "Employee", "forecasting_employee_id"),
+    ("WebSession", "Store", "preferred_store_id"),
+    ("WebOrder", "Currency", "web_order_currency_id"),
+    ("CartAbandonment", "Customer", "abandoning_customer_id"),
+    ("WishList", "Channel", "created_channel_id"),
+    ("CustomerFeedback", "Product", "reviewed_product_id"),
+    ("NpsSurvey", "Store", "surveyed_store_id"),
+    ("CampaignResponse", "Channel", "response_channel_id"),
+    ("EmailCampaign", "Promotion", "featured_promotion_id"),
+    ("SegmentMembership", "Employee", "assigning_employee_id"),
+    ("ContactHistory", "Employee", "contacting_employee_id"),
+    ("ContactHistory", "Channel", "contact_channel_id"),
+    ("Household", "Region", "household_region_id"),
+    ("CustomerSegment", "Employee", "segment_owner_employee_id"),
+    ("CustomerPreference", "Channel", "preferred_channel_id"),
+    ("CustomerAccount", "PaymentMethod", "default_payment_method_id"),
+]
+
+# --------------------------------------------------------------------------
+# Filler attribute pools per subject area: (name, dtype) stems.  Names draw
+# on the lexicon's retail phrases so the customer corruption step can find
+# synonym renames.
+# --------------------------------------------------------------------------
+
+_COMMON_FILLER: list[tuple[str, DataType]] = [
+    ("created_timestamp", DataType.DATETIME),
+    ("modified_timestamp", DataType.DATETIME),
+    ("effective_start_date", DataType.DATE),
+    ("effective_end_date", DataType.DATE),
+    ("is_active", DataType.BOOLEAN),
+    ("status_code", DataType.STRING),
+    ("source_system_code", DataType.STRING),
+    ("record_version_number", DataType.INTEGER),
+    ("display_sequence_number", DataType.INTEGER),
+    ("external_reference_number", DataType.STRING),
+    ("note_text", DataType.STRING),
+    ("type_code", DataType.STRING),
+]
+
+_AREA_FILLER: dict[str, list[tuple[str, DataType]]] = {
+    "party": [
+        ("middle_name", DataType.STRING),
+        ("salutation_text", DataType.STRING),
+        ("preferred_language_code", DataType.STRING),
+        ("marketing_opt_in_flag", DataType.BOOLEAN),
+        ("loyalty_points_balance", DataType.DECIMAL),
+        ("lifetime_value_amount", DataType.DECIMAL),
+        ("street_address_line", DataType.STRING),
+        ("city_name", DataType.STRING),
+        ("postal_code", DataType.STRING),
+        ("country_region_code", DataType.STRING),
+        ("phone_number", DataType.STRING),
+        ("email_verified_flag", DataType.BOOLEAN),
+        ("membership_tier_code", DataType.STRING),
+        ("enrollment_date", DataType.DATE),
+        ("anniversary_date", DataType.DATE),
+        ("household_size_count", DataType.INTEGER),
+        ("preferred_contact_method_code", DataType.STRING),
+        ("segment_name", DataType.STRING),
+        ("segment_description", DataType.STRING),
+        ("account_balance_amount", DataType.DECIMAL),
+        ("credit_limit_amount", DataType.DECIMAL),
+        ("contact_reason_code", DataType.STRING),
+        ("contact_outcome_description", DataType.STRING),
+        ("date_of_birth", DataType.DATE),
+    ],
+    "product": [
+        ("item_color_description", DataType.STRING),
+        ("item_size_description", DataType.STRING),
+        ("gross_weight_value", DataType.DECIMAL),
+        ("net_weight_value", DataType.DECIMAL),
+        ("unit_of_measure_code", DataType.STRING),
+        ("minimum_order_quantity", DataType.DECIMAL),
+        ("maximum_order_quantity", DataType.DECIMAL),
+        ("shelf_life_day_count", DataType.INTEGER),
+        ("hazardous_material_flag", DataType.BOOLEAN),
+        ("country_of_origin_code", DataType.STRING),
+        ("standard_cost_amount", DataType.DECIMAL),
+        ("average_cost_amount", DataType.DECIMAL),
+        ("landed_cost_amount", DataType.DECIMAL),
+        ("image_url_text", DataType.STRING),
+        ("thumbnail_url_text", DataType.STRING),
+        ("attribute_name", DataType.STRING),
+        ("attribute_value_text", DataType.STRING),
+        ("barcode_value", DataType.STRING),
+        ("review_rating_score", DataType.DECIMAL),
+        ("review_comment_text", DataType.STRING),
+        ("on_hand_quantity", DataType.DECIMAL),
+        ("on_order_quantity", DataType.DECIMAL),
+        ("safety_stock_quantity", DataType.DECIMAL),
+        ("reorder_point_quantity", DataType.DECIMAL),
+        ("category_name", DataType.STRING),
+        ("category_description", DataType.STRING),
+        ("hierarchy_level_number", DataType.INTEGER),
+        ("selling_season_code", DataType.STRING),
+        ("assortment_group_code", DataType.STRING),
+        ("fashion_season_name", DataType.STRING),
+        ("supplier_item_number", DataType.STRING),
+        ("lead_time_day_count", DataType.INTEGER),
+    ],
+    "transaction": [
+        ("line_item_count", DataType.INTEGER),
+        ("items_subtotal", DataType.DECIMAL),
+        ("tax_total_amount", DataType.DECIMAL),
+        ("shipping_cost_amount", DataType.DECIMAL),
+        ("freight_charge_amount", DataType.DECIMAL),
+        ("discount_total_amount", DataType.DECIMAL),
+        ("rounding_adjustment_amount", DataType.DECIMAL),
+        ("payment_due_date", DataType.DATE),
+        ("paid_in_full_flag", DataType.BOOLEAN),
+        ("tender_type_code", DataType.STRING),
+        ("authorization_code", DataType.STRING),
+        ("reference_receipt_number", DataType.STRING),
+        ("return_reason_code", DataType.STRING),
+        ("return_condition_description", DataType.STRING),
+        ("restocking_fee_amount", DataType.DECIMAL),
+        ("expected_delivery_date", DataType.DATE),
+        ("actual_delivery_date", DataType.DATE),
+        ("carrier_name", DataType.STRING),
+        ("tracking_number", DataType.STRING),
+        ("delivery_window_start_time", DataType.TIME),
+        ("delivery_window_end_time", DataType.TIME),
+        ("invoice_issued_date", DataType.DATE),
+        ("invoice_total_amount", DataType.DECIMAL),
+        ("billing_period_code", DataType.STRING),
+        ("shipped_quantity", DataType.DECIMAL),
+        ("backordered_quantity", DataType.DECIMAL),
+        ("cancelled_quantity", DataType.DECIMAL),
+        ("fulfillment_priority_code", DataType.STRING),
+        ("gift_wrap_flag", DataType.BOOLEAN),
+        ("loyalty_points_earned", DataType.DECIMAL),
+    ],
+    "store": [
+        ("time_zone_code", DataType.STRING),
+        ("latitude_value", DataType.FLOAT),
+        ("longitude_value", DataType.FLOAT),
+        ("opening_time", DataType.TIME),
+        ("closing_time", DataType.TIME),
+        ("day_of_week_code", DataType.STRING),
+        ("holiday_flag", DataType.BOOLEAN),
+        ("register_number", DataType.INTEGER),
+        ("channel_name", DataType.STRING),
+        ("channel_description", DataType.STRING),
+        ("region_name", DataType.STRING),
+        ("district_name", DataType.STRING),
+        ("storage_capacity_value", DataType.DECIMAL),
+        ("zone_temperature_code", DataType.STRING),
+        ("dock_door_count", DataType.INTEGER),
+        ("aisle_number", DataType.INTEGER),
+        ("shelf_location_code", DataType.STRING),
+        ("bin_location_code", DataType.STRING),
+    ],
+    "promotion": [
+        ("promotion_description", DataType.STRING),
+        ("redemption_limit_count", DataType.INTEGER),
+        ("minimum_purchase_amount", DataType.DECIMAL),
+        ("coupon_code_text", DataType.STRING),
+        ("redemption_timestamp", DataType.DATETIME),
+        ("redeemed_amount", DataType.DECIMAL),
+        ("points_multiplier_value", DataType.DECIMAL),
+        ("reward_points_earned", DataType.DECIMAL),
+        ("reward_points_redeemed", DataType.DECIMAL),
+        ("card_balance_amount", DataType.DECIMAL),
+        ("card_activation_date", DataType.DATE),
+        ("card_expiration_date", DataType.DATE),
+        ("old_price_amount", DataType.DECIMAL),
+        ("new_price_amount", DataType.DECIMAL),
+        ("markdown_percentage", DataType.DECIMAL),
+        ("markdown_reason_code", DataType.STRING),
+        ("campaign_budget_amount", DataType.DECIMAL),
+        ("stacking_allowed_flag", DataType.BOOLEAN),
+    ],
+    "workforce": [
+        ("hire_date", DataType.DATE),
+        ("termination_date", DataType.DATE),
+        ("job_title_name", DataType.STRING),
+        ("hourly_wage_amount", DataType.DECIMAL),
+        ("annual_salary_amount", DataType.DECIMAL),
+        ("shift_start_time", DataType.TIME),
+        ("shift_end_time", DataType.TIME),
+        ("scheduled_hours_value", DataType.DECIMAL),
+        ("overtime_hours_value", DataType.DECIMAL),
+        ("department_name", DataType.STRING),
+        ("pay_period_code", DataType.STRING),
+        ("gross_pay_amount", DataType.DECIMAL),
+        ("net_pay_amount", DataType.DECIMAL),
+        ("role_name", DataType.STRING),
+    ],
+    "supply": [
+        ("vendor_name", DataType.STRING),
+        ("vendor_rating_score", DataType.DECIMAL),
+        ("contract_number", DataType.STRING),
+        ("contract_value_amount", DataType.DECIMAL),
+        ("ordered_quantity", DataType.DECIMAL),
+        ("received_quantity", DataType.DECIMAL),
+        ("rejected_quantity", DataType.DECIMAL),
+        ("unit_cost_amount", DataType.DECIMAL),
+        ("expected_receipt_date", DataType.DATE),
+        ("adjustment_reason_code", DataType.STRING),
+        ("adjustment_quantity", DataType.DECIMAL),
+        ("counted_quantity", DataType.DECIMAL),
+        ("variance_quantity", DataType.DECIMAL),
+        ("count_date", DataType.DATE),
+        ("replenishment_quantity", DataType.DECIMAL),
+        ("review_cycle_day_count", DataType.INTEGER),
+        ("payment_terms_code", DataType.STRING),
+    ],
+    "finance": [
+        ("currency_code", DataType.STRING),
+        ("currency_name", DataType.STRING),
+        ("exchange_rate_value", DataType.DECIMAL),
+        ("rate_effective_date", DataType.DATE),
+        ("tax_rate_percentage", DataType.DECIMAL),
+        ("tax_jurisdiction_name", DataType.STRING),
+        ("payment_method_name", DataType.STRING),
+        ("processing_fee_percentage", DataType.DECIMAL),
+        ("ledger_account_number", DataType.STRING),
+        ("debit_amount", DataType.DECIMAL),
+        ("credit_amount", DataType.DECIMAL),
+        ("posting_date", DataType.DATE),
+        ("fiscal_year_number", DataType.INTEGER),
+        ("fiscal_quarter_code", DataType.STRING),
+        ("budget_amount", DataType.DECIMAL),
+        ("actual_amount", DataType.DECIMAL),
+        ("forecast_quantity", DataType.DECIMAL),
+        ("forecast_revenue_amount", DataType.DECIMAL),
+        ("forecast_horizon_week_count", DataType.INTEGER),
+    ],
+    "digital": [
+        ("session_start_timestamp", DataType.DATETIME),
+        ("session_duration_seconds", DataType.INTEGER),
+        ("page_view_count", DataType.INTEGER),
+        ("device_type_code", DataType.STRING),
+        ("browser_name", DataType.STRING),
+        ("referrer_url_text", DataType.STRING),
+        ("cart_item_count", DataType.INTEGER),
+        ("abandoned_cart_value_amount", DataType.DECIMAL),
+        ("abandonment_timestamp", DataType.DATETIME),
+        ("wish_list_name", DataType.STRING),
+        ("added_timestamp", DataType.DATETIME),
+        ("feedback_rating_score", DataType.DECIMAL),
+        ("feedback_comment_text", DataType.STRING),
+        ("survey_score_value", DataType.INTEGER),
+        ("survey_response_date", DataType.DATE),
+        ("email_subject_text", DataType.STRING),
+        ("sent_count", DataType.INTEGER),
+        ("open_rate_percentage", DataType.DECIMAL),
+        ("click_rate_percentage", DataType.DECIMAL),
+        ("response_channel_code", DataType.STRING),
+    ],
+}
+
+
+def _snake(entity_name: str) -> str:
+    return "_".join(split_identifier(entity_name))
+
+
+def _describe(entity_name: str, attribute_name: str) -> str:
+    """Template description from the expanded attribute and entity tokens."""
+    attribute_words = " ".join(expand_tokens(split_identifier(attribute_name)))
+    entity_words = " ".join(split_identifier(entity_name))
+    return f"The {attribute_words} of the {entity_words} record."
+
+
+def build_retail_iss(seed: int = 7) -> Schema:
+    """Build the synthetic retail ISS with the paper's exact statistics."""
+    rng = np.random.default_rng(seed)
+    entity_names = [name for name, _ in _ENTITIES]
+    area_of = dict(_ENTITIES)
+    if len(entity_names) != ISS_NUM_ENTITIES:
+        raise AssertionError(f"entity catalogue has {len(entity_names)} entries")
+
+    attributes: dict[str, list[Attribute]] = {name: [] for name in entity_names}
+    used_names: dict[str, set[str]] = {name: set() for name in entity_names}
+
+    def add(entity: str, name: str, dtype: DataType) -> bool:
+        if name in used_names[entity]:
+            return False
+        attributes[entity].append(
+            Attribute(name=name, dtype=dtype, description=_describe(entity, name))
+        )
+        used_names[entity].add(name)
+        return True
+
+    # 1. Primary keys.
+    for entity in entity_names:
+        add(entity, f"{_snake(entity)}_id", DataType.INTEGER)
+
+    # 2. Core attributes.
+    for entity, core in _CORE_ATTRIBUTES.items():
+        for name, dtype in core:
+            add(entity, name, dtype)
+
+    # 3. Declared + extra FKs until exactly ISS_NUM_RELATIONSHIPS.
+    relationships: list[Relationship] = []
+
+    def add_fk(child: str, parent: str, fk_name: str) -> None:
+        if not add(child, fk_name, DataType.INTEGER):
+            raise AssertionError(f"duplicate FK attribute {child}.{fk_name}")
+        relationships.append(
+            Relationship(
+                child=AttributeRef(child, fk_name),
+                parent=AttributeRef(parent, f"{_snake(parent)}_id"),
+            )
+        )
+
+    for child, parent in _DECLARED_FKS:
+        fk_name = f"{_snake(parent)}_id"
+        if fk_name in used_names[child]:
+            fk_name = f"related_{fk_name}"
+        add_fk(child, parent, fk_name)
+    for child, parent, fk_name in _EXTRA_FKS:
+        if len(relationships) >= ISS_NUM_RELATIONSHIPS:
+            break
+        add_fk(child, parent, fk_name)
+    if len(relationships) != ISS_NUM_RELATIONSHIPS:
+        raise AssertionError(
+            f"built {len(relationships)} relationships, expected {ISS_NUM_RELATIONSHIPS}"
+        )
+
+    # 4. Filler attributes round-robin until exactly ISS_NUM_ATTRIBUTES.
+    def current_total() -> int:
+        return sum(len(attrs) for attrs in attributes.values())
+
+    pools: dict[str, list[tuple[str, DataType]]] = {}
+    cursors: dict[str, int] = {}
+    for entity in entity_names:
+        pool = list(_AREA_FILLER[area_of[entity]]) + list(_COMMON_FILLER)
+        order = rng.permutation(len(pool))
+        pools[entity] = [pool[int(i)] for i in order]
+        cursors[entity] = 0
+
+    if current_total() > ISS_NUM_ATTRIBUTES:
+        raise AssertionError("core+FK attributes already exceed the target count")
+
+    entity_cycle = list(entity_names)
+    cycle_index = 0
+    stalled = 0
+    while current_total() < ISS_NUM_ATTRIBUTES:
+        entity = entity_cycle[cycle_index % len(entity_cycle)]
+        cycle_index += 1
+        pool = pools[entity]
+        added = False
+        while cursors[entity] < len(pool):
+            name, dtype = pool[cursors[entity]]
+            cursors[entity] += 1
+            if add(entity, name, dtype):
+                added = True
+                break
+        if added:
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled > len(entity_cycle):
+                # All pools exhausted: synthesise numbered auxiliary fields.
+                suffix = current_total()
+                add(entity, f"auxiliary_attribute_{suffix}", DataType.STRING)
+                stalled = 0
+
+    entities = [
+        Entity(
+            name=name,
+            attributes=attributes[name],
+            primary_key=f"{_snake(name)}_id",
+            description=f"Industry entity capturing {' '.join(split_identifier(name))} information.",
+        )
+        for name in entity_names
+    ]
+    schema = Schema("retail_iss", entities, relationships)
+    if schema.num_attributes != ISS_NUM_ATTRIBUTES:
+        raise AssertionError(f"ISS has {schema.num_attributes} attributes")
+    return schema

@@ -1,0 +1,383 @@
+"""Reconstructions of the three public schema-matching datasets (Table II).
+
+* **RDB-Star** -- the synthetic relational/star pair used in the Cupid paper
+  (13 source entities / 65 attributes / 12 PK-FKs mapping into a 5-entity /
+  34-attribute / 4 PK-FK star).  Matches are near-verbatim name copies (the
+  paper's example: ``Sales.Discount`` -> ``OrderDetails.Discount``), which is
+  why every reasonable baseline aces it.
+* **IPFQR** -- the CMS Inpatient Psychiatric Facility Quality Reporting
+  measure files; the state file (51 columns) is the source and the national
+  file (67 columns) the target, both single-entity.
+* **MovieLens-IMDB** -- the MovieLens relational schema (6 entities / 19
+  attributes / 5 PK-FKs) against the IMDb dataset schema (7 entities / 39
+  attributes / 6 PK-FKs).  Matches here cross naming conventions
+  (``movies.title`` -> ``title_basics.primary_title``), which is what drops
+  baseline accuracy to ~0.5-0.7.
+
+Ground truths are hand-written, as in the paper ("we manually created the
+ground truth matches"), and *partial*: only source attributes with a genuine
+counterpart are mapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schema.model import (
+    Attribute,
+    AttributeRef,
+    DataType,
+    Entity,
+    Relationship,
+    Schema,
+    ground_truth_from_pairs,
+)
+
+_S = DataType.STRING
+_I = DataType.INTEGER
+_F = DataType.FLOAT
+_D = DataType.DECIMAL
+_B = DataType.BOOLEAN
+_DT = DataType.DATETIME
+_DA = DataType.DATE
+
+
+@dataclass
+class PublicDataset:
+    """A public source/target schema pair with hand-written ground truth."""
+
+    name: str
+    source: Schema
+    target: Schema
+    ground_truth: dict[AttributeRef, AttributeRef]
+
+
+def _entity(name: str, pk: str | None, attrs: list[tuple[str, DataType]]) -> Entity:
+    return Entity(
+        name=name,
+        primary_key=pk,
+        attributes=[Attribute(name=attr, dtype=dtype) for attr, dtype in attrs],
+    )
+
+
+def _rel(child: str, parent: str) -> Relationship:
+    return Relationship(
+        child=AttributeRef.parse(child), parent=AttributeRef.parse(parent)
+    )
+
+
+# ---------------------------------------------------------------------------
+# RDB-Star
+# ---------------------------------------------------------------------------
+
+def build_rdb_star() -> PublicDataset:
+    """Normalised operational schema (source) vs. compact star (target)."""
+    source = Schema(
+        "rdb_star_source",
+        [
+            _entity("Sales", "SaleID", [
+                ("SaleID", _I), ("OrderID", _I), ("ProductID", _I),
+                ("Quantity", _D), ("UnitPrice", _D), ("Discount", _D),
+            ]),
+            _entity("Orders", "OrderID", [
+                ("OrderID", _I), ("CustomerID", _I), ("EmployeeID", _I),
+                ("OrderDate", _DA), ("ShippedDate", _DA), ("Freight", _D),
+            ]),
+            _entity("Products", "ProductID", [
+                ("ProductID", _I), ("ProductName", _S), ("SupplierID", _I),
+                ("CategoryID", _I), ("UnitsInStock", _I), ("ReorderLevel", _I),
+            ]),
+            _entity("Categories", "CategoryID", [
+                ("CategoryID", _I), ("CategoryName", _S), ("Description", _S),
+            ]),
+            _entity("Customers", "CustomerID", [
+                ("CustomerID", _I), ("CompanyName", _S), ("ContactName", _S),
+                ("City", _S), ("Country", _S), ("Phone", _S),
+                ("PostalCode", _S),
+            ]),
+            _entity("Employees", "EmployeeID", [
+                ("EmployeeID", _I), ("LastName", _S), ("FirstName", _S),
+                ("Title", _S), ("HireDate", _DA), ("BirthDate", _DA),
+            ]),
+            _entity("Suppliers", "SupplierID", [
+                ("SupplierID", _I), ("SupplierName", _S), ("ContactTitle", _S),
+                ("Region", _S), ("HomePage", _S),
+            ]),
+            _entity("Shippers", "ShipperID", [
+                ("ShipperID", _I), ("ShipperName", _S), ("PhoneNumber", _S),
+                ("TrackingUrl", _S),
+            ]),
+            _entity("Territories", "TerritoryID", [
+                ("TerritoryID", _I), ("TerritoryDescription", _S), ("RegionID", _I),
+            ]),
+            _entity("Regions", "RegionID", [
+                ("RegionID", _I), ("RegionDescription", _S),
+            ]),
+            _entity("Stores", "StoreID", [
+                ("StoreID", _I), ("StoreName", _S), ("StoreCity", _S),
+                ("StoreCountry", _S), ("ManagerName", _S),
+            ]),
+            _entity("Promotions", "PromotionID", [
+                ("PromotionID", _I), ("PromotionName", _S), ("StartDate", _DA),
+                ("EndDate", _DA), ("DiscountPercent", _D), ("Budget", _D),
+            ]),
+            _entity("Payments", "PaymentID", [
+                ("PaymentID", _I), ("OrderID", _I), ("PaymentDate", _DA),
+                ("Amount", _D), ("PaymentType", _S), ("CurrencyCode", _S),
+            ]),
+        ],
+        [
+            _rel("Sales.OrderID", "Orders.OrderID"),
+            _rel("Sales.ProductID", "Products.ProductID"),
+            _rel("Orders.CustomerID", "Customers.CustomerID"),
+            _rel("Orders.EmployeeID", "Employees.EmployeeID"),
+            _rel("Products.SupplierID", "Suppliers.SupplierID"),
+            _rel("Products.CategoryID", "Categories.CategoryID"),
+            _rel("Territories.RegionID", "Regions.RegionID"),
+            _rel("Payments.OrderID", "Orders.OrderID"),
+            _rel("Sales.SaleID", "Payments.PaymentID"),
+            _rel("Stores.StoreID", "Employees.EmployeeID"),
+            _rel("Promotions.PromotionID", "Sales.SaleID"),
+            _rel("Shippers.ShipperID", "Orders.OrderID"),
+        ],
+    )
+    target = Schema(
+        "rdb_star_target",
+        [
+            _entity("OrderDetails", "OrderDetailID", [
+                ("OrderDetailID", _I), ("OrderID", _I), ("ProductID", _I),
+                ("Quantity", _D), ("UnitPrice", _D), ("Discount", _D),
+                ("Freight", _D),
+            ]),
+            _entity("Orders", "OrderID", [
+                ("OrderID", _I), ("CustomerID", _I), ("EmployeeID", _I),
+                ("OrderDate", _DA), ("ShippedDate", _DA),
+            ]),
+            _entity("Products", "ProductID", [
+                ("ProductID", _I), ("ProductName", _S), ("CategoryName", _S),
+                ("SupplierName", _S), ("UnitsInStock", _I),
+            ]),
+            _entity("Customers", "CustomerID", [
+                ("CustomerID", _I), ("CompanyName", _S), ("ContactName", _S),
+                ("City", _S), ("Country", _S), ("Phone", _S),
+            ]),
+            _entity("Employees", "EmployeeID", [
+                ("EmployeeID", _I), ("LastName", _S), ("FirstName", _S),
+                ("Title", _S), ("HireDate", _DA), ("StoreName", _S),
+                ("StoreCity", _S), ("StoreCountry", _S), ("PromotionName", _S),
+                ("DiscountPercent", _D), ("RegionDescription", _S),
+            ]),
+        ],
+        [
+            _rel("OrderDetails.OrderID", "Orders.OrderID"),
+            _rel("OrderDetails.ProductID", "Products.ProductID"),
+            _rel("Orders.CustomerID", "Customers.CustomerID"),
+            _rel("Orders.EmployeeID", "Employees.EmployeeID"),
+        ],
+    )
+    truth = ground_truth_from_pairs([
+        ("Sales.SaleID", "OrderDetails.OrderDetailID"),
+        ("Sales.OrderID", "OrderDetails.OrderID"),
+        ("Sales.ProductID", "OrderDetails.ProductID"),
+        ("Sales.Quantity", "OrderDetails.Quantity"),
+        ("Sales.UnitPrice", "OrderDetails.UnitPrice"),
+        ("Sales.Discount", "OrderDetails.Discount"),
+        ("Orders.OrderID", "Orders.OrderID"),
+        ("Orders.CustomerID", "Orders.CustomerID"),
+        ("Orders.EmployeeID", "Orders.EmployeeID"),
+        ("Orders.OrderDate", "Orders.OrderDate"),
+        ("Orders.ShippedDate", "Orders.ShippedDate"),
+        ("Orders.Freight", "OrderDetails.Freight"),
+        ("Products.ProductID", "Products.ProductID"),
+        ("Products.ProductName", "Products.ProductName"),
+        ("Products.UnitsInStock", "Products.UnitsInStock"),
+        ("Categories.CategoryName", "Products.CategoryName"),
+        ("Customers.CustomerID", "Customers.CustomerID"),
+        ("Customers.CompanyName", "Customers.CompanyName"),
+        ("Customers.ContactName", "Customers.ContactName"),
+        ("Customers.City", "Customers.City"),
+        ("Customers.Country", "Customers.Country"),
+        ("Customers.Phone", "Customers.Phone"),
+        ("Employees.EmployeeID", "Employees.EmployeeID"),
+        ("Employees.LastName", "Employees.LastName"),
+        ("Employees.FirstName", "Employees.FirstName"),
+        ("Employees.Title", "Employees.Title"),
+        ("Employees.HireDate", "Employees.HireDate"),
+        ("Suppliers.SupplierName", "Products.SupplierName"),
+        ("Regions.RegionDescription", "Employees.RegionDescription"),
+        ("Stores.StoreName", "Employees.StoreName"),
+        ("Stores.StoreCity", "Employees.StoreCity"),
+        ("Stores.StoreCountry", "Employees.StoreCountry"),
+        ("Promotions.PromotionName", "Employees.PromotionName"),
+        ("Promotions.DiscountPercent", "Employees.DiscountPercent"),
+    ])
+    return PublicDataset("rdb_star", source, target, truth)
+
+
+# ---------------------------------------------------------------------------
+# IPFQR
+# ---------------------------------------------------------------------------
+
+_IPFQR_MEASURES = [
+    "hbips_2", "hbips_3", "hbips_5", "sub_1", "sub_2", "sub_2a", "sub_3",
+    "sub_3a", "tob_1", "tob_2", "tob_2a", "tob_3", "tob_3a", "imm_2",
+    "fuh_7", "fuh_30",
+]
+
+
+def build_ipfqr() -> PublicDataset:
+    """CMS IPFQR: state-level file (source) vs. national file (target)."""
+    source_attrs: list[tuple[str, DataType]] = [
+        ("state", _S),
+        ("start_date", _DA),
+        ("end_date", _DA),
+    ]
+    for measure in _IPFQR_MEASURES:
+        source_attrs.append((f"{measure}_numerator", _D))
+        source_attrs.append((f"{measure}_denominator", _D))
+        source_attrs.append((f"{measure}_percent", _D))
+    # 3 + 16*3 = 51 columns.
+    source = Schema(
+        "ipfqr_state",
+        [_entity("StateMeasures", None, source_attrs)],
+        [],
+    )
+
+    target_attrs: list[tuple[str, DataType]] = [
+        ("measure_start_date", _DA),
+        ("measure_end_date", _DA),
+        ("footnote", _S),
+    ]
+    for measure in _IPFQR_MEASURES:
+        target_attrs.append((f"{measure}_overall_num", _D))
+        target_attrs.append((f"{measure}_overall_den", _D))
+        target_attrs.append((f"{measure}_overall_pct", _D))
+        target_attrs.append((f"{measure}_footnote", _S))
+    # 3 + 16*4 = 67 columns.
+    target = Schema(
+        "ipfqr_national",
+        [_entity("NationalMeasures", None, target_attrs)],
+        [],
+    )
+
+    pairs: list[tuple[str, str]] = [
+        ("StateMeasures.start_date", "NationalMeasures.measure_start_date"),
+        ("StateMeasures.end_date", "NationalMeasures.measure_end_date"),
+    ]
+    for measure in _IPFQR_MEASURES:
+        pairs.append(
+            (f"StateMeasures.{measure}_numerator", f"NationalMeasures.{measure}_overall_num")
+        )
+        pairs.append(
+            (f"StateMeasures.{measure}_denominator", f"NationalMeasures.{measure}_overall_den")
+        )
+        pairs.append(
+            (f"StateMeasures.{measure}_percent", f"NationalMeasures.{measure}_overall_pct")
+        )
+    truth = ground_truth_from_pairs(pairs)
+    return PublicDataset("ipfqr", source, target, truth)
+
+
+# ---------------------------------------------------------------------------
+# MovieLens - IMDB
+# ---------------------------------------------------------------------------
+
+def build_movielens_imdb() -> PublicDataset:
+    """MovieLens relational schema (source) vs. the IMDb dataset (target)."""
+    source = Schema(
+        "movielens",
+        [
+            _entity("movies", "movie_id", [
+                ("movie_id", _I), ("title", _S),
+            ]),
+            _entity("genres", None, [
+                ("movie_id", _I), ("genre", _S),
+            ]),
+            _entity("ratings", None, [
+                ("user_id", _I), ("movie_id", _I), ("rating", _F),
+                ("timestamp", _DT),
+            ]),
+            _entity("tags", None, [
+                ("user_id", _I), ("movie_id", _I), ("tag", _S),
+                ("timestamp", _DT),
+            ]),
+            _entity("links", None, [
+                ("movie_id", _I), ("imdb_id", _S), ("tmdb_id", _S),
+            ]),
+            _entity("users", "user_id", [
+                ("user_id", _I), ("gender", _S), ("age", _I), ("occupation", _S),
+            ]),
+        ],
+        [
+            _rel("genres.movie_id", "movies.movie_id"),
+            _rel("ratings.movie_id", "movies.movie_id"),
+            _rel("ratings.user_id", "users.user_id"),
+            _rel("tags.movie_id", "movies.movie_id"),
+            _rel("links.movie_id", "movies.movie_id"),
+        ],
+    )
+    target = Schema(
+        "imdb",
+        [
+            _entity("title_basics", "tconst", [
+                ("tconst", _S), ("title_type", _S), ("primary_title", _S),
+                ("original_title", _S), ("is_adult", _B), ("start_year", _I),
+                ("end_year", _I), ("runtime_minutes", _I), ("genres", _S),
+            ]),
+            _entity("title_ratings", None, [
+                ("tconst", _S), ("average_rating", _F), ("num_votes", _I),
+            ]),
+            _entity("title_akas", None, [
+                ("title_id", _S), ("ordering", _I), ("localized_title", _S),
+                ("region", _S), ("language", _S), ("types", _S),
+                ("attributes", _S), ("is_original_title", _B),
+            ]),
+            _entity("title_crew", None, [
+                ("tconst", _S), ("directors", _S), ("writers", _S),
+            ]),
+            _entity("title_episode", None, [
+                ("tconst", _S), ("parent_tconst", _S), ("season_number", _I),
+                ("episode_number", _I),
+            ]),
+            _entity("title_principals", None, [
+                ("tconst", _S), ("ordering", _I), ("nconst", _S),
+                ("category", _S), ("job", _S), ("characters", _S),
+            ]),
+            _entity("name_basics", "nconst", [
+                ("nconst", _S), ("primary_name", _S), ("birth_year", _I),
+                ("death_year", _I), ("primary_profession", _S),
+                ("known_for_titles", _S),
+            ]),
+        ],
+        [
+            _rel("title_ratings.tconst", "title_basics.tconst"),
+            _rel("title_akas.title_id", "title_basics.tconst"),
+            _rel("title_crew.tconst", "title_basics.tconst"),
+            _rel("title_episode.tconst", "title_basics.tconst"),
+            _rel("title_principals.tconst", "title_basics.tconst"),
+            _rel("title_principals.nconst", "name_basics.nconst"),
+        ],
+    )
+    truth = ground_truth_from_pairs([
+        ("movies.movie_id", "title_basics.tconst"),
+        ("movies.title", "title_basics.primary_title"),
+        ("genres.genre", "title_basics.genres"),
+        ("genres.movie_id", "title_akas.title_id"),
+        ("ratings.rating", "title_ratings.average_rating"),
+        ("ratings.movie_id", "title_ratings.tconst"),
+        ("tags.tag", "title_akas.attributes"),
+        ("tags.movie_id", "title_crew.tconst"),
+        ("links.imdb_id", "title_episode.tconst"),
+        ("users.user_id", "name_basics.nconst"),
+        ("users.occupation", "name_basics.primary_profession"),
+        ("users.age", "name_basics.birth_year"),
+    ])
+    return PublicDataset("movielens_imdb", source, target, truth)
+
+
+def build_all_public() -> dict[str, PublicDataset]:
+    return {
+        "rdb_star": build_rdb_star(),
+        "ipfqr": build_ipfqr(),
+        "movielens_imdb": build_movielens_imdb(),
+    }

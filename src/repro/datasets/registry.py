@@ -1,0 +1,73 @@
+"""Dataset registry: one entry point for every evaluation dataset.
+
+``load_dataset("customer_a")`` (or ``"rdb_star"`` etc.) returns a
+:class:`MatchingTask` bundling source schema, target schema and ground truth.
+Customer datasets share a single cached ISS so repeated loads are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping
+
+from ..schema.model import AttributeRef, Schema
+from .customers import CUSTOMER_SPECS, generate_customer
+from .iss import build_retail_iss
+from .public import build_ipfqr, build_movielens_imdb, build_rdb_star
+
+CUSTOMER_NAMES = [f"customer_{label.lower()}" for label in CUSTOMER_SPECS]
+PUBLIC_NAMES = ["rdb_star", "ipfqr", "movielens_imdb"]
+ALL_NAMES = PUBLIC_NAMES + CUSTOMER_NAMES
+
+
+@dataclass
+class MatchingTask:
+    """A source/target schema pair with ground truth -- one experiment unit."""
+
+    name: str
+    source: Schema
+    target: Schema
+    ground_truth: dict[AttributeRef, AttributeRef]
+
+    @property
+    def is_customer(self) -> bool:
+        return self.name.startswith("customer_")
+
+    def stats(self) -> Mapping[str, object]:
+        return {
+            "source": self.source.stats(),
+            "target": self.target.stats(),
+            "ground_truth_pairs": len(self.ground_truth),
+        }
+
+
+@lru_cache(maxsize=1)
+def retail_iss() -> Schema:
+    """The shared retail ISS (built once per process)."""
+    return build_retail_iss()
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> MatchingTask:
+    """Load any dataset by registry name (see ``ALL_NAMES``)."""
+    if name == "rdb_star":
+        dataset = build_rdb_star()
+        return MatchingTask(name, dataset.source, dataset.target, dataset.ground_truth)
+    if name == "ipfqr":
+        dataset = build_ipfqr()
+        return MatchingTask(name, dataset.source, dataset.target, dataset.ground_truth)
+    if name == "movielens_imdb":
+        dataset = build_movielens_imdb()
+        return MatchingTask(name, dataset.source, dataset.target, dataset.ground_truth)
+    if name.startswith("customer_"):
+        label = name.removeprefix("customer_").upper()
+        if label not in CUSTOMER_SPECS:
+            raise KeyError(f"unknown customer dataset: {name}")
+        generated = generate_customer(retail_iss(), CUSTOMER_SPECS[label])
+        return MatchingTask(name, generated.schema, retail_iss(), generated.ground_truth)
+    raise KeyError(f"unknown dataset: {name!r} (available: {ALL_NAMES})")
+
+
+def load_all() -> dict[str, MatchingTask]:
+    return {name: load_dataset(name) for name in ALL_NAMES}

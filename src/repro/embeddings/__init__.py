@@ -1,0 +1,21 @@
+"""FastText-style subword embeddings trained from scratch."""
+
+from .subword import (
+    SubwordEmbeddings,
+    SubwordVocab,
+    character_ngrams_of_word,
+    fnv1a,
+)
+from .trainer import SkipGramConfig, train_subword_embeddings
+from .ppmi import PpmiConfig, train_ppmi_embeddings
+
+__all__ = [
+    "PpmiConfig",
+    "SkipGramConfig",
+    "train_ppmi_embeddings",
+    "SubwordEmbeddings",
+    "SubwordVocab",
+    "character_ngrams_of_word",
+    "fnv1a",
+    "train_subword_embeddings",
+]

@@ -1,0 +1,159 @@
+"""Skip-gram with negative sampling for the subword embeddings.
+
+The training loop mirrors FastText: for each (center, context) pair within a
+window, the center word's *composed* subword vector should score high against
+the context word's output vector and low against sampled negatives.  Updates
+are mini-batched and fully vectorised; variable-length subword lists are
+padded with the vocabulary's dedicated zero row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.activations import sigmoid
+from .subword import SubwordEmbeddings, SubwordVocab
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """Hyper-parameters of the skip-gram trainer."""
+
+    dim: int = 48
+    window: int = 4
+    negatives: int = 5
+    epochs: int = 10
+    batch_size: int = 1024
+    lr: float = 0.05
+    min_lr: float = 1e-4
+    subsample_threshold: float = 1e-3
+    seed: int = 0
+
+
+def _build_pairs(
+    corpus: Sequence[Sequence[str]],
+    vocab: SubwordVocab,
+    config: SkipGramConfig,
+    rng: np.random.Generator,
+) -> tuple[list[str], np.ndarray]:
+    """All (center word, context word-id) pairs with frequency subsampling."""
+    total = sum(vocab.frequency.values()) or 1
+    keep_probability: dict[str, float] = {}
+    for word, count in vocab.frequency.items():
+        ratio = count / total
+        keep = (np.sqrt(ratio / config.subsample_threshold) + 1) * (
+            config.subsample_threshold / ratio
+        )
+        keep_probability[word] = min(1.0, keep)
+
+    centers: list[str] = []
+    contexts: list[int] = []
+    for sentence in corpus:
+        kept = [
+            word
+            for word in sentence
+            if word in vocab and rng.random() < keep_probability.get(word, 1.0)
+        ]
+        for i, center in enumerate(kept):
+            window = int(rng.integers(1, config.window + 1))
+            lo = max(0, i - window)
+            hi = min(len(kept), i + window + 1)
+            for j in range(lo, hi):
+                if j == i:
+                    continue
+                centers.append(center)
+                contexts.append(vocab.word_to_id[kept[j]])
+    return centers, np.asarray(contexts, dtype=np.int64)
+
+
+def _negative_sampler(vocab: SubwordVocab) -> tuple[np.ndarray, np.ndarray]:
+    """Unigram^0.75 negative-sampling distribution (ids, probabilities)."""
+    counts = np.asarray([vocab.frequency[word] for word in vocab.words], dtype=np.float64)
+    weights = counts**0.75
+    return np.arange(vocab.num_words), weights / weights.sum()
+
+
+def _pad_subword_ids(
+    words: Sequence[str], vocab: SubwordVocab
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad per-word subword-id lists into (ids, mask, counts) arrays."""
+    id_lists = [vocab.subword_ids(word) for word in words]
+    longest = max(len(ids) for ids in id_lists)
+    ids = np.full((len(id_lists), longest), vocab.padding_row, dtype=np.int64)
+    mask = np.zeros((len(id_lists), longest), dtype=np.float32)
+    for row, id_list in enumerate(id_lists):
+        ids[row, : len(id_list)] = id_list
+        mask[row, : len(id_list)] = 1.0
+    counts = mask.sum(axis=1, keepdims=True)
+    return ids, mask, counts
+
+
+def train_subword_embeddings(
+    corpus: Sequence[Sequence[str]],
+    config: SkipGramConfig = SkipGramConfig(),
+    vocab: SubwordVocab | None = None,
+) -> SubwordEmbeddings:
+    """Train subword embeddings on a token corpus; deterministic per seed."""
+    rng = np.random.default_rng(config.seed)
+    if vocab is None:
+        vocab = SubwordVocab(corpus)
+    if vocab.num_words == 0:
+        raise ValueError("corpus has no in-vocabulary words")
+
+    input_table = (
+        rng.uniform(-0.5, 0.5, size=(vocab.num_rows, config.dim)) / config.dim
+    ).astype(np.float32)
+    input_table[vocab.padding_row].fill(0.0)
+    output_table = np.zeros((vocab.num_words, config.dim), dtype=np.float32)
+
+    negative_ids, negative_probs = _negative_sampler(vocab)
+    centers, contexts = _build_pairs(corpus, vocab, config, rng)
+    if not centers:
+        raise ValueError("no skip-gram pairs produced; corpus too small")
+
+    num_pairs = len(centers)
+    total_steps = max(1, config.epochs * ((num_pairs + config.batch_size - 1) // config.batch_size))
+    step = 0
+    for _ in range(config.epochs):
+        order = rng.permutation(num_pairs)
+        for start in range(0, num_pairs, config.batch_size):
+            batch_idx = order[start : start + config.batch_size]
+            batch_centers = [centers[int(i)] for i in batch_idx]
+            batch_contexts = contexts[batch_idx]
+
+            lr = max(config.min_lr, config.lr * (1.0 - step / total_steps))
+            step += 1
+
+            ids, mask, counts = _pad_subword_ids(batch_centers, vocab)
+            center_vectors = (input_table[ids] * mask[..., None]).sum(axis=1) / counts
+
+            # Targets: positive context in column 0, negatives after.
+            negatives = rng.choice(
+                negative_ids, size=(len(batch_idx), config.negatives), p=negative_probs
+            )
+            targets = np.concatenate([batch_contexts[:, None], negatives], axis=1)
+            labels = np.zeros_like(targets, dtype=np.float32)
+            labels[:, 0] = 1.0
+
+            target_vectors = output_table[targets]  # (B, 1+neg, D)
+            scores = np.einsum("bd,bkd->bk", center_vectors, target_vectors)
+            gradient = (sigmoid(scores) - labels).astype(np.float32)  # (B, 1+neg)
+
+            grad_center = np.einsum("bk,bkd->bd", gradient, target_vectors)
+            grad_targets = gradient[..., None] * center_vectors[:, None, :]
+
+            np.add.at(
+                output_table,
+                targets.reshape(-1),
+                (-lr * grad_targets).reshape(-1, config.dim),
+            )
+            grad_rows = (-lr / counts)[:, :, None] * (
+                mask[..., None] * grad_center[:, None, :]
+            )
+            np.add.at(input_table, ids.reshape(-1), grad_rows.reshape(-1, config.dim))
+            input_table[vocab.padding_row].fill(0.0)
+
+    return SubwordEmbeddings(vocab, input_table)

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and curve summaries.
+
+The benchmark harness prints these so that running
+``pytest benchmarks/ --benchmark-only`` regenerates the same rows/series the
+paper reports, in a greppable textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_accuracy(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def render_accuracy_table(
+    table: Mapping[str, Mapping[str, float]],
+    title: str = "",
+) -> str:
+    """Render dataset -> method -> accuracy as a matrix table."""
+    datasets = list(table)
+    methods = sorted({m for row in table.values() for m in row})
+    rows = [
+        [dataset] + [format_accuracy(table[dataset].get(method, float("nan"))) for method in methods]
+        for dataset in datasets
+    ]
+    return render_table(["dataset"] + methods, rows, title=title)
+
+
+def summarise_curve(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    checkpoints: Sequence[float] = (5.0, 10.0, 20.0),
+) -> str:
+    """One-line summary: y at selected x checkpoints + completion point."""
+    parts = [f"{name}:"]
+    for checkpoint in checkpoints:
+        y_at = _interp(xs, ys, checkpoint)
+        parts.append(f"y({checkpoint:.0f}%)={y_at:.0f}%")
+    if ys:
+        parts.append(f"final={ys[-1]:.0f}% @ x={xs[-1]:.0f}%")
+    return " ".join(parts)
+
+
+def _interp(xs: Sequence[float], ys: Sequence[float], x: float) -> float:
+    if not xs:
+        return 0.0
+    previous_y = 0.0
+    for current_x, current_y in zip(xs, ys):
+        if current_x > x:
+            return previous_y
+        previous_y = current_y
+    return previous_y

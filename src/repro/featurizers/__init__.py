@@ -1,0 +1,28 @@
+"""LSM featurizers: lexical, word-embedding and fine-tuned BERT."""
+
+from .base import AttributePairView, Featurizer, StaticFeaturizer, make_pair_view
+from .lexical import LexicalFeaturizer
+from .embedding import EmbeddingFeaturizer
+from .bert import (
+    BertFeaturizer,
+    BertFeaturizerConfig,
+    MatchingClassifier,
+    TrainingSample,
+    generate_pretraining_samples,
+)
+from .pipeline import FeaturizerPipeline
+
+__all__ = [
+    "AttributePairView",
+    "BertFeaturizer",
+    "BertFeaturizerConfig",
+    "EmbeddingFeaturizer",
+    "Featurizer",
+    "FeaturizerPipeline",
+    "LexicalFeaturizer",
+    "MatchingClassifier",
+    "StaticFeaturizer",
+    "TrainingSample",
+    "generate_pretraining_samples",
+    "make_pair_view",
+]

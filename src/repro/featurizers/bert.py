@@ -1,0 +1,634 @@
+"""The BERT featurizer: MiniBERT + the paper's ``matching classifier``.
+
+This is the key innovation of LSM (Section IV-C1).  The featurizer
+
+1. frames candidate-pair scoring as binary text classification over the
+   sentence ``[CLS] a_s.name a_s.desc [SEP] a_t.name a_t.desc [SEP]``;
+2. adds a single-hidden-layer classifier (the *matching classifier*) on the
+   [CLS] hidden state;
+3. **pre-trains** the matching classifier once per ISS from schema-only
+   samples -- *self-repeating*, *self-explaining* and *PK/FK-linking*
+   positives, with randomly corrupted one-sided negatives;
+4. **updates** on human labels during the interactive loop, weighting them
+   above the ISS-generated samples.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..lm.bert import MiniBert
+from ..lm.tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
+from ..nn.activations import relu, relu_backward, sigmoid
+from ..nn.layers import Linear, Module
+from ..nn.losses import binary_cross_entropy_with_logits
+from ..nn.optim import Adam, clip_gradients
+from ..schema.model import Schema
+from ..text.abbrev import expand_tokens
+from ..text.lexicon import SynonymLexicon, default_lexicon
+from ..text.tokenize import name_and_description_tokens, split_identifier, words
+from .base import AttributePairView
+
+
+class MatchingClassifier(Module):
+    """Single-hidden-layer binary classifier over encoder match features.
+
+    The paper attaches the classifier to the BERT [CLS] state.  Our
+    from-scratch MiniBERT is orders of magnitude smaller than BERT-base, so
+    the classifier input is augmented with explicit cross-segment
+    interaction features computed from the same encoder output -- the
+    SBERT-style ``[cls, |u - v|, u * v]`` with ``u``/``v`` the mean-pooled
+    hidden states of the two segments.  This compensates for the capacity
+    gap without changing the training protocol (see DESIGN.md).
+    """
+
+    #: Number of hidden-size-wide feature channels fed to the classifier:
+    #: pooled CLS, |u - v|, u * v (contextual), |u0 - v0|, u0 * v0 (embedding
+    #: layer, detached).
+    NUM_CHANNELS = 5
+    #: Scalar features prepended to the channels: cos(u, v) and cos(u0, v0).
+    #: With a handful of labels a 300-dimensional input is unidentifiable;
+    #: the explicit cosines give the few-sample regime a 2-dimensional
+    #: signal that already ranks well, while the wide channels add capacity
+    #: once more labels arrive.
+    NUM_SCALARS = 2
+
+    def __init__(self, hidden_size: int, classifier_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.scalar_path = self.add_child("scalar_path", Linear(self.NUM_SCALARS, 1, rng))
+        # Start ranking from the distributional geometry: the raw-embedding
+        # cosine (channel 1) is reliable out of the box, while the contextual
+        # cosine (channel 0) must earn its weight through training.
+        self.scalar_path.weight.value[0] = 0.0
+        self.scalar_path.weight.value[1] = 3.0
+        self.scalar_path.bias.value[:] = -1.0
+        self.hidden = self.add_child(
+            "hidden", Linear(self.NUM_CHANNELS * hidden_size, classifier_size, rng)
+        )
+        self.output = self.add_child("output", Linear(classifier_size, 1, rng))
+        # Zero-init the channel path's output so it starts silent: with few
+        # labels the logit is driven by the (well-behaved) cosine scalars and
+        # the high-dimensional path only speaks once training shapes it.
+        self.output.weight.value[:] = 0.0
+        self._relu_cache: np.ndarray | None = None
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        """Match features (B, NUM_SCALARS + NUM_CHANNELS * H) -> logits (B,)."""
+        scalars = features[:, : self.NUM_SCALARS]
+        channels = features[:, self.NUM_SCALARS :]
+        scalar_logits = self.scalar_path.forward(scalars)[:, 0]
+        activated, self._relu_cache = relu(self.hidden.forward(channels))
+        channel_logits = self.output.forward(activated)[:, 0]
+        return scalar_logits + channel_logits
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        assert self._relu_cache is not None, "backward before forward"
+        grad_scalars = self.scalar_path.backward(grad_logits[:, None])
+        grad_activated = self.output.backward(grad_logits[:, None])
+        grad_hidden = relu_backward(grad_activated, self._relu_cache)
+        self._relu_cache = None
+        grad_channels = self.hidden.backward(grad_hidden)
+        return np.concatenate([grad_scalars, grad_channels], axis=1)
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One classifier-training sentence pair with its label and weight."""
+
+    words_a: tuple[str, ...]
+    words_b: tuple[str, ...]
+    label: int
+    weight: float
+    kind: str  # self-repeating | self-explaining | pkfk | negative | human
+
+
+def _attribute_words(schema: Schema, entity_name: str, attribute_name: str) -> tuple[str, ...]:
+    attribute = schema.entity(entity_name).attribute(attribute_name)
+    return tuple(name_and_description_tokens(attribute.name, attribute.description))
+
+
+def _synonym_paraphrases(
+    tokens: list[str],
+    lexicon: SynonymLexicon,
+    rng: np.random.Generator,
+    limit: int = 2,
+) -> list[tuple[str, ...]]:
+    """Paraphrases of an attribute name: synonym renames + expansions.
+
+    Real BERT arrives knowing that *discount* and *markdown* co-refer; our
+    from-scratch encoder must be taught.  Besides the corpus-level signal,
+    the matching classifier is pre-trained on positives pairing each ISS
+    attribute with lexicon-synonym and abbreviation-expanded paraphrases of
+    its own name -- schema-only data augmentation that injects the same
+    invariance at the point of use (see DESIGN.md).
+    """
+    paraphrases: list[tuple[str, ...]] = []
+    for span in range(len(tokens), 0, -1):
+        if len(paraphrases) >= limit:
+            break
+        for start in range(0, len(tokens) - span + 1):
+            phrase = " ".join(tokens[start : start + span])
+            synonym = lexicon.random_synonym(phrase, rng)
+            if synonym is not None and synonym != phrase:
+                paraphrases.append(
+                    tuple(tokens[:start] + synonym.split() + tokens[start + span :])
+                )
+                break
+    expanded = tuple(expand_tokens(tokens))
+    if expanded != tuple(tokens):
+        paraphrases.append(expanded)
+    return paraphrases[:limit]
+
+
+def generate_pretraining_samples(
+    schema: Schema,
+    rng: np.random.Generator,
+    negatives_per_positive: int = 1,
+    lexicon: SynonymLexicon | None = None,
+) -> list[TrainingSample]:
+    """The paper's ISS-only pre-training set for the matching classifier.
+
+    Positives: *self-repeating* ("[CLS] a a [SEP]"-style identity pairs),
+    *self-explaining* (name vs. its own description, when one exists),
+    *PK/FK-linking* (the two ends of each relationship) and
+    *synonym-paraphrasing* (the name vs. a lexicon paraphrase of it; see
+    :func:`_synonym_paraphrases`).
+
+    Negatives corrupt one side of each positive by swapping in a different
+    attribute; alternate corruption rounds draw the replacement from the
+    *same entity* (hard negatives such as ``product_name`` vs
+    ``product_id``), forcing the classifier to rely on genuine semantic
+    similarity rather than shared vocabulary.
+    """
+    lexicon = lexicon or default_lexicon()
+    attribute_pool: list[tuple[str, ...]] = []
+    entity_of: list[str] = []
+    #: (sample, index of its anchor attribute in attribute_pool)
+    positives: list[tuple[TrainingSample, int]] = []
+    for ref, attribute in schema.iter_attributes():
+        anchor = len(attribute_pool)
+        attribute_text = tuple(
+            name_and_description_tokens(attribute.name, attribute.description)
+        )
+        attribute_pool.append(attribute_text)
+        entity_of.append(ref.entity)
+        positives.append(
+            (TrainingSample(attribute_text, attribute_text, 1, 1.0, "self-repeating"), anchor)
+        )
+        if attribute.description:
+            positives.append(
+                (
+                    TrainingSample(
+                        tuple(split_identifier(attribute.name)),
+                        tuple(words(attribute.description)),
+                        1,
+                        1.0,
+                        "self-explaining",
+                    ),
+                    anchor,
+                )
+            )
+        name_tokens = list(split_identifier(attribute.name))
+        for paraphrase in _synonym_paraphrases(name_tokens, lexicon, rng):
+            positives.append(
+                (
+                    TrainingSample(paraphrase, attribute_text, 1, 1.0, "synonym-paraphrase"),
+                    anchor,
+                )
+            )
+
+    pool_index = {text: i for i, text in enumerate(attribute_pool)}
+    for relationship in schema.relationships:
+        child_words = _attribute_words(
+            schema, relationship.child.entity, relationship.child.attribute
+        )
+        parent_words = _attribute_words(
+            schema, relationship.parent.entity, relationship.parent.attribute
+        )
+        positives.append(
+            (TrainingSample(child_words, parent_words, 1, 1.0, "pkfk"), pool_index[child_words])
+        )
+
+    siblings_of: dict[str, list[int]] = {}
+    for index, entity in enumerate(entity_of):
+        siblings_of.setdefault(entity, []).append(index)
+
+    samples = [sample for sample, _ in positives]
+    num_attributes = len(attribute_pool)
+    if num_attributes > 1:
+        for sample, anchor in positives:
+            for negative_round in range(negatives_per_positive):
+                pool: list[int] = []
+                if negative_round % 2 == 1:
+                    pool = [
+                        i
+                        for i in siblings_of.get(entity_of[anchor], [])
+                        if attribute_pool[i] != sample.words_b
+                    ]
+                if pool:
+                    corrupt = attribute_pool[pool[int(rng.integers(len(pool)))]]
+                else:
+                    corrupt = attribute_pool[int(rng.integers(num_attributes))]
+                    if corrupt == sample.words_b:
+                        corrupt = attribute_pool[
+                            (pool_index[corrupt] + 1) % num_attributes
+                        ]
+                if rng.random() < 0.5:
+                    samples.append(
+                        TrainingSample(sample.words_a, corrupt, 0, 1.0, "negative")
+                    )
+                else:
+                    samples.append(
+                        TrainingSample(corrupt, sample.words_b, 0, 1.0, "negative")
+                    )
+    return samples
+
+
+@dataclass
+class BertFeaturizerConfig:
+    """Training/runtime knobs of the BERT featurizer."""
+
+    max_length: int = 32
+    classifier_size: int = 32
+    pretrain_epochs: int = 2
+    update_epochs: int = 2
+    batch_size: int = 64
+    lr: float = 1e-3
+    #: Learning-rate multiplier for the classifier's high-dimensional channel
+    #: path.  The scalar-cosine path and the encoder learn at ``lr``; the
+    #: wide path learns slower so it cannot overfit the (small) schema-only
+    #: pre-training set and corrupt the similarity ranking.
+    channel_lr_scale: float = 0.1
+    human_sample_weight: float = 8.0
+    #: Each human-labeled pair is replicated this many times in the update
+    #: training set, so a lone label is actually present in most mini-batches
+    #: instead of being drowned by the ISS regulariser samples.
+    human_oversample: int = 4
+    iss_subsample_per_update: int = 192
+    finetune_encoder: bool = True
+    #: Keep the token-embedding table fixed during matching-classifier
+    #: training.  The table carries the distributional (synonym) geometry
+    #: from MLM pre-training -- the reproduction's stand-in for BERT's world
+    #: knowledge -- and letting the small schema-only training sets move it
+    #: erodes the detached cos(u0, v0) channel that anchors the ranking.
+    freeze_token_embeddings: bool = True
+    max_grad_norm: float = 1.0
+    negatives_per_positive: int = 1
+    seed: int = 0
+
+
+class BertFeaturizer:
+    """Cross-encoder similarity scorer with per-ISS pre-training."""
+
+    def __init__(
+        self,
+        tokenizer: WordPieceTokenizer,
+        model: MiniBert,
+        config: BertFeaturizerConfig | None = None,
+    ) -> None:
+        self.tokenizer = tokenizer
+        # Fine-tuning mutates the encoder; work on a private copy so shared
+        # per-vertical artefacts stay pristine across matchers and trials.
+        self.model = copy.deepcopy(model)
+        self.config = config or BertFeaturizerConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.classifier = MatchingClassifier(
+            model.config.hidden_size, self.config.classifier_size, rng
+        )
+        self._rng = np.random.default_rng(self.config.seed + 1)
+        self._iss_samples: list[TrainingSample] = []
+        self._human_samples: list[TrainingSample] = []
+        self._encoded_cache: dict[tuple, EncodedPair] = {}
+        self._scores_dirty = True
+        self._score_cache: dict[tuple, float] = {}
+
+    @property
+    def name(self) -> str:
+        return "bert"
+
+    # -- encoding ---------------------------------------------------------------
+
+    def _encode_sample(self, sample: TrainingSample) -> EncodedPair:
+        return self.tokenizer.encode_pair(
+            list(sample.words_a), list(sample.words_b), max_length=self.config.max_length
+        )
+
+    def _encode_view(self, pair: AttributePairView) -> EncodedPair:
+        key = pair.key
+        cached = self._encoded_cache.get(key)
+        if cached is None:
+            cached = self.tokenizer.encode_attribute_pair(
+                pair.source_name,
+                pair.source_description,
+                pair.target_name,
+                pair.target_description,
+                max_length=self.config.max_length,
+            )
+            self._encoded_cache[key] = cached
+        return cached
+
+    # -- encoder match features --------------------------------------------------
+
+    def _segment_masks(self, batch: EncodedPair) -> tuple[np.ndarray, np.ndarray]:
+        """Float masks (B, T) selecting the *content* tokens of each segment.
+
+        [CLS]/[SEP]/[PAD] are excluded so the segment means reflect the
+        attribute text only.
+        """
+        special = sorted(self.tokenizer.vocab.special_ids())
+        content = (~np.isin(batch.input_ids, special)).astype(np.float32)
+        attention = batch.attention_mask.astype(np.float32) * content
+        segment_b = (batch.segment_ids == 1).astype(np.float32) * attention
+        segment_a = (batch.segment_ids == 0).astype(np.float32) * attention
+        return segment_a, segment_b
+
+    def _forward_features(self, batch: EncodedPair) -> tuple[np.ndarray, dict]:
+        """Encoder forward producing the classifier's match features.
+
+        Channels: pooled CLS, |u - v| and u * v from the contextual hidden
+        states, plus |u0 - v0| and u0 * v0 from the (detached) raw token
+        embeddings -- the latter carry the distributional word geometry
+        directly, without positional/segment additions.
+        """
+        hidden, pooled = self.model.forward(batch)
+        embedded = self.model.token_embedding.table.value[batch.input_ids]
+        mask_a, mask_b = self._segment_masks(batch)
+        count_a = np.maximum(mask_a.sum(axis=1, keepdims=True), 1.0)
+        count_b = np.maximum(mask_b.sum(axis=1, keepdims=True), 1.0)
+        u = (hidden * mask_a[..., None]).sum(axis=1) / count_a
+        v = (hidden * mask_b[..., None]).sum(axis=1) / count_b
+        u0 = (embedded * mask_a[..., None]).sum(axis=1) / count_a
+        v0 = (embedded * mask_b[..., None]).sum(axis=1) / count_b
+
+        def batched_cosine(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+            norms = np.linalg.norm(x, axis=1) * np.linalg.norm(y, axis=1)
+            norms[norms == 0.0] = 1.0
+            return ((x * y).sum(axis=1) / norms)[:, None]
+
+        cosine_uv = batched_cosine(u, v)
+        features = np.concatenate(
+            [
+                cosine_uv,
+                batched_cosine(u0, v0),
+                pooled,
+                np.abs(u - v),
+                u * v,
+                np.abs(u0 - v0),
+                u0 * v0,
+            ],
+            axis=1,
+        )
+        cache = {
+            "mask_a": mask_a,
+            "mask_b": mask_b,
+            "count_a": count_a,
+            "count_b": count_b,
+            "u": u,
+            "v": v,
+            "cosine_uv": cosine_uv[:, 0],
+            "hidden_shape": hidden.shape,
+        }
+        return features, cache
+
+    def _backward_features(self, grad_features: np.ndarray, cache: dict) -> None:
+        """Backpropagate match-feature gradients into the encoder."""
+        size = self.model.config.hidden_size
+        offset = MatchingClassifier.NUM_SCALARS
+        grad_pooled = grad_features[:, offset : offset + size]
+        grad_absdiff = grad_features[:, offset + size : offset + 2 * size]
+        grad_product = grad_features[:, offset + 2 * size : offset + 3 * size]
+        # The embedding-layer scalar/channels (cos(u0, v0) and channels 4-5)
+        # are detached by design; cos(u, v) backpropagates into the encoder.
+        u, v = cache["u"], cache["v"]
+        sign = np.sign(u - v)
+        grad_u = grad_absdiff * sign + grad_product * v
+        grad_v = -grad_absdiff * sign + grad_product * u
+
+        grad_cosine = grad_features[:, 0]
+        norm_u = np.linalg.norm(u, axis=1)
+        norm_v = np.linalg.norm(v, axis=1)
+        safe = (norm_u > 0) & (norm_v > 0)
+        if safe.any():
+            cosine = cache["cosine_uv"]
+            inv_u = np.where(safe, 1.0 / np.maximum(norm_u, 1e-12), 0.0)
+            inv_v = np.where(safe, 1.0 / np.maximum(norm_v, 1e-12), 0.0)
+            coeff = (grad_cosine * inv_u * inv_v)[:, None]
+            grad_u = grad_u + coeff * v - (
+                grad_cosine * cosine * inv_u**2
+            )[:, None] * u
+            grad_v = grad_v + coeff * u - (
+                grad_cosine * cosine * inv_v**2
+            )[:, None] * v
+        grad_hidden = (
+            cache["mask_a"][..., None] * (grad_u / cache["count_a"])[:, None, :]
+            + cache["mask_b"][..., None] * (grad_v / cache["count_b"])[:, None, :]
+        ).astype(np.float32)
+        self.model.backward(grad_hidden=grad_hidden, grad_pooled=grad_pooled)
+
+    # -- training ---------------------------------------------------------------
+
+    def _train(
+        self,
+        samples: Sequence[TrainingSample],
+        epochs: int,
+        train_channels: bool = True,
+        train_encoder: bool | None = None,
+    ) -> list[float]:
+        """Train the classifier (and optionally the encoder) on ``samples``.
+
+        ``train_channels``/``train_encoder`` gate the high-capacity paths:
+        schema-only pre-training calibrates just the scalar path (a monotone
+        reweighting of the cosine features that cannot corrupt rankings),
+        while human-label updates adapt everything.
+        """
+        if not samples:
+            return []
+        if train_encoder is None:
+            train_encoder = self.config.finetune_encoder
+        encoded = [self._encode_sample(sample) for sample in samples]
+        labels = np.asarray([sample.label for sample in samples], dtype=np.float64)
+        weights = np.asarray([sample.weight for sample in samples], dtype=np.float64)
+
+        channel_parameters: dict = {}
+        if train_channels:
+            channel_parameters = {
+                **self.classifier.hidden.parameters("classifier.hidden."),
+                **self.classifier.output.parameters("classifier.output."),
+            }
+        fast_parameters = dict(
+            self.classifier.scalar_path.parameters("classifier.scalar_path.")
+        )
+        if train_encoder:
+            encoder_parameters = self.model.parameters("bert.")
+            if self.config.freeze_token_embeddings:
+                encoder_parameters.pop("bert.token_embedding.table", None)
+            fast_parameters.update(encoder_parameters)
+        parameters = {**fast_parameters, **channel_parameters}
+        optimizers = [Adam(fast_parameters, lr=self.config.lr)]
+        if channel_parameters:
+            optimizers.append(
+                Adam(channel_parameters, lr=self.config.lr * self.config.channel_lr_scale)
+            )
+
+        self.model.train()
+        self.classifier.train()
+        losses: list[float] = []
+        for _ in range(max(1, epochs)):
+            order = self._rng.permutation(len(encoded))
+            for start in range(0, len(encoded), self.config.batch_size):
+                index = order[start : start + self.config.batch_size]
+                batch = stack_encoded([encoded[int(i)] for i in index])
+                features, cache = self._forward_features(batch)
+                logits = self.classifier.forward(features)
+                loss, grad_logits = binary_cross_entropy_with_logits(
+                    logits, labels[index], weights=weights[index]
+                )
+                for optimizer in optimizers:
+                    optimizer.zero_grad()
+                grad_features = self.classifier.backward(grad_logits)
+                if train_encoder:
+                    self._backward_features(grad_features, cache)
+                clip_gradients(parameters, self.config.max_grad_norm)
+                for optimizer in optimizers:
+                    optimizer.step()
+                losses.append(loss)
+        self.model.eval()
+        self.classifier.eval()
+        self._scores_dirty = True
+        return losses
+
+    def pretrain(
+        self,
+        target_schema: Schema,
+        lexicon: SynonymLexicon | None = None,
+        cache_key: str | None = None,
+    ) -> list[float]:
+        """Pre-train the matching classifier from the ISS (once per vertical).
+
+        When ``cache_key`` identifies the encoder's provenance (e.g. the
+        artefact cache key), the pre-trained encoder+classifier state is
+        cached on disk and reused, making the per-vertical cost literal.
+        """
+        from ..lm import cache as disk_cache
+        from ..nn.serialize import load_state_dict, state_dict
+
+        self._iss_samples = generate_pretraining_samples(
+            target_schema,
+            self._rng,
+            self.config.negatives_per_positive,
+            lexicon=lexicon,
+        )
+        full_key = None
+        if cache_key is not None:
+            full_key = disk_cache.content_key(
+                "bert-featurizer-pretrain-v1",
+                cache_key,
+                target_schema.name,
+                {
+                    k: v
+                    for k, v in self.config.__dict__.items()
+                    if isinstance(v, (int, float, bool, str))
+                },
+            )
+            stored = disk_cache.load_arrays("bert-pretrain", full_key)
+            if stored is not None:
+                model_state = {
+                    name.removeprefix("model."): value
+                    for name, value in stored.items()
+                    if name.startswith("model.")
+                }
+                classifier_state = {
+                    name.removeprefix("classifier."): value
+                    for name, value in stored.items()
+                    if name.startswith("classifier.")
+                }
+                load_state_dict(self.model, model_state)
+                load_state_dict(self.classifier, classifier_state)
+                self.model.eval()
+                self.classifier.eval()
+                self._scores_dirty = True
+                return []
+        losses = self._train(
+            self._iss_samples,
+            self.config.pretrain_epochs,
+            train_channels=False,
+            train_encoder=False,
+        )
+        if full_key is not None:
+            combined = {
+                **{f"model.{k}": v for k, v in state_dict(self.model).items()},
+                **{f"classifier.{k}": v for k, v in state_dict(self.classifier).items()},
+            }
+            disk_cache.save_arrays("bert-pretrain", full_key, combined)
+        return losses
+
+    def update(
+        self,
+        labeled_pairs: Sequence[AttributePairView],
+        labels: Sequence[int],
+    ) -> None:
+        """Fold the human labels collected so far into the classifier.
+
+        Human samples carry ``human_sample_weight``; a random subsample of
+        the ISS pre-training set is mixed in as a regulariser so the
+        classifier does not forget the per-vertical prior (§VI-B).
+        """
+        self._human_samples = [
+            TrainingSample(
+                tuple(
+                    name_and_description_tokens(pair.source_name, pair.source_description)
+                ),
+                tuple(
+                    name_and_description_tokens(pair.target_name, pair.target_description)
+                ),
+                int(label),
+                self.config.human_sample_weight,
+                "human",
+            )
+            for pair, label in zip(labeled_pairs, labels)
+        ]
+        if not self._human_samples:
+            return
+        mixed: list[TrainingSample] = list(self._human_samples) * max(
+            1, self.config.human_oversample
+        )
+        if self._iss_samples:
+            budget = min(self.config.iss_subsample_per_update, len(self._iss_samples))
+            chosen = self._rng.choice(len(self._iss_samples), size=budget, replace=False)
+            mixed.extend(self._iss_samples[int(i)] for i in chosen)
+        self._train(mixed, self.config.update_epochs)
+
+    # -- scoring ---------------------------------------------------------------
+
+    def score_pairs(self, pairs: Sequence[AttributePairView]) -> np.ndarray:
+        """Similarity scores in [0, 1]: sigmoid of the classifier logits."""
+        if self._scores_dirty:
+            self._score_cache.clear()
+            self._scores_dirty = False
+        scores = np.empty(len(pairs), dtype=np.float64)
+        pending: list[int] = []
+        for index, pair in enumerate(pairs):
+            cached = self._score_cache.get(pair.key)
+            if cached is None:
+                pending.append(index)
+            else:
+                scores[index] = cached
+        if pending:
+            self.model.eval()
+            self.classifier.eval()
+            batch_size = max(64, self.config.batch_size)
+            for start in range(0, len(pending), batch_size):
+                chunk = pending[start : start + batch_size]
+                batch = stack_encoded([self._encode_view(pairs[i]) for i in chunk])
+                features, _cache = self._forward_features(batch)
+                logits = self.classifier.forward(features)
+                probabilities = sigmoid(logits.astype(np.float64))
+                for i, probability in zip(chunk, probabilities):
+                    scores[i] = float(probability)
+                    self._score_cache[pairs[i].key] = float(probability)
+        return scores

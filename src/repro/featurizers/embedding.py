@@ -1,0 +1,36 @@
+"""The paper's word-embedding featurizer (Section IV-C2).
+
+Cosine similarity between the (FastText-style) embedding representations of
+the two attribute names.  The raw cosine lies in [-1, 1]; it is rescaled to
+[0, 1] so all featurizer outputs share a range (the meta-learner is scale
+sensitive only up to its learned weights, but a common range keeps the
+self-training thresholds meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..embeddings.subword import SubwordEmbeddings
+from .base import AttributePairView, StaticFeaturizer
+
+
+@dataclass
+class EmbeddingFeaturizer(StaticFeaturizer):
+    """Cosine similarity of subword-embedding name vectors, mapped to [0, 1]."""
+
+    embeddings: SubwordEmbeddings = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.embeddings is None:
+            raise ValueError("EmbeddingFeaturizer requires trained embeddings")
+
+    @property
+    def name(self) -> str:
+        return "embedding"
+
+    def _score(self, pair: AttributePairView) -> float:
+        cosine = self.embeddings.similarity(
+            list(pair.source_tokens), list(pair.target_tokens)
+        )
+        return (cosine + 1.0) / 2.0

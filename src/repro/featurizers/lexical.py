@@ -1,0 +1,39 @@
+"""The paper's lexical featurizer (Section IV-C2).
+
+Score of a pair ``(a_s, a_t)``:
+
+    lsc(a_s.name, a_t.name) / min(len(a_s.name), len(a_t.name))
+
+where ``lsc`` is the longest-common-subsequence length.  Normalising by the
+*shorter* name makes the metric abbreviation-friendly: every character of
+``qty`` appears in order inside ``quantity``, so the pair scores 1.0.
+
+Names are case-folded and separator-stripped before comparison so that
+``TotalOrderLineAmount`` and ``total_order_line_amount`` are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..text.metrics import lcs_ratio
+from .base import AttributePairView, StaticFeaturizer
+
+
+def _canonical(name: str, tokens: tuple[str, ...]) -> str:
+    """Separator-free lower-case form of an identifier."""
+    return "".join(tokens) if tokens else name.lower()
+
+
+@dataclass
+class LexicalFeaturizer(StaticFeaturizer):
+    """LCS-over-shorter-length lexical similarity."""
+
+    @property
+    def name(self) -> str:
+        return "lexical"
+
+    def _score(self, pair: AttributePairView) -> float:
+        source = _canonical(pair.source_name, pair.source_tokens)
+        target = _canonical(pair.target_name, pair.target_tokens)
+        return lcs_ratio(source, target)

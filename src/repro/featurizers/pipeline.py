@@ -1,0 +1,51 @@
+"""The modular featurization pipeline (Step 1 of the LSM matching loop).
+
+Stacks any number of featurizers into a feature matrix.  The design mirrors
+the paper's: "a modular featurization pipeline with currently three
+featurizers plugged in, but our design allows for easy incorporation of more
+featurizers in the future."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import AttributePairView, Featurizer
+
+
+class FeaturizerPipeline:
+    """Ordered collection of featurizers producing one feature column each."""
+
+    def __init__(self, featurizers: Sequence[Featurizer]) -> None:
+        if not featurizers:
+            raise ValueError("pipeline needs at least one featurizer")
+        names = [featurizer.name for featurizer in featurizers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate featurizer names: {names}")
+        self.featurizers = list(featurizers)
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [featurizer.name for featurizer in self.featurizers]
+
+    @property
+    def num_features(self) -> int:
+        return len(self.featurizers)
+
+    def featurize(self, pairs: Sequence[AttributePairView]) -> np.ndarray:
+        """Feature matrix of shape (num_pairs, num_features)."""
+        if not pairs:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        columns = [featurizer.score_pairs(pairs) for featurizer in self.featurizers]
+        return np.column_stack(columns)
+
+    def update(
+        self,
+        labeled_pairs: Sequence[AttributePairView],
+        labels: Sequence[int],
+    ) -> None:
+        """Propagate the current labels to every stateful featurizer."""
+        for featurizer in self.featurizers:
+            featurizer.update(labeled_pairs, labels)

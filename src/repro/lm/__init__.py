@@ -1,0 +1,43 @@
+"""MiniBERT language model: vocab, tokeniser, encoder, MLM pre-training, cache."""
+
+from .vocab import (
+    CLS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    WordPieceVocab,
+    build_vocab,
+)
+from .tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
+from .config import BertConfig
+from .attention import MultiHeadSelfAttention
+from .encoder import TransformerBlock
+from .bert import MiniBert
+from .mlm import IGNORE_INDEX, MlmHead, MlmTrainResult, mask_tokens, pretrain_mlm
+from . import cache
+
+__all__ = [
+    "BertConfig",
+    "CLS_TOKEN",
+    "EncodedPair",
+    "IGNORE_INDEX",
+    "MASK_TOKEN",
+    "MiniBert",
+    "MlmHead",
+    "MlmTrainResult",
+    "MultiHeadSelfAttention",
+    "PAD_TOKEN",
+    "SEP_TOKEN",
+    "SPECIAL_TOKENS",
+    "TransformerBlock",
+    "UNK_TOKEN",
+    "WordPieceTokenizer",
+    "WordPieceVocab",
+    "build_vocab",
+    "cache",
+    "mask_tokens",
+    "pretrain_mlm",
+    "stack_encoded",
+]

@@ -1,0 +1,94 @@
+"""Multi-head self-attention with explicit backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.activations import softmax, softmax_backward
+from ..nn.layers import Dropout, Linear, Module
+from .config import BertConfig
+
+#: Additive bias applied to masked (padding) key positions before softmax.
+MASK_BIAS = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product attention over ``num_heads`` heads.
+
+    Input/output shape ``(batch, seq, hidden)``.  The attention mask has
+    shape ``(batch, seq)`` with 1 for real tokens and 0 for padding; padding
+    keys receive a large negative score bias so they get ~zero weight.
+    """
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.query = self.add_child("query", Linear(config.hidden_size, config.hidden_size, rng))
+        self.key = self.add_child("key", Linear(config.hidden_size, config.hidden_size, rng))
+        self.value = self.add_child("value", Linear(config.hidden_size, config.hidden_size, rng))
+        self.output = self.add_child("output", Linear(config.hidden_size, config.hidden_size, rng))
+        self.attention_dropout = self.add_child(
+            "attention_dropout", Dropout(config.attention_dropout, rng)
+        )
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) -> (B, H, T, dh)."""
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.config.num_heads, self.config.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, T, dh) -> (B, T, D)."""
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def forward(self, x: np.ndarray, attention_mask: np.ndarray) -> np.ndarray:
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        queries = self._split_heads(self.query.forward(x))
+        keys = self._split_heads(self.key.forward(x))
+        values = self._split_heads(self.value.forward(x))
+
+        scores = np.matmul(queries, keys.transpose(0, 1, 3, 2)) * scale
+        key_bias = (1.0 - attention_mask[:, None, None, :]) * MASK_BIAS
+        probs = softmax(scores + key_bias, axis=-1)
+        weights = self.attention_dropout.forward(probs)
+
+        context = np.matmul(weights, values)
+        merged = self._merge_heads(context)
+        self._cache = {
+            "queries": queries,
+            "keys": keys,
+            "values": values,
+            "probs": probs,
+            "weights": weights,
+            "scale": np.float32(scale),
+        }
+        return self.output.forward(merged)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        cache = self._cache
+        queries, keys, values = cache["queries"], cache["keys"], cache["values"]
+        probs, weights = cache["probs"], cache["weights"]
+        scale = float(cache["scale"])
+
+        grad_merged = self.output.backward(grad_output)
+        grad_context = self._split_heads(grad_merged)
+
+        grad_weights = np.matmul(grad_context, values.transpose(0, 1, 3, 2))
+        grad_values = np.matmul(weights.transpose(0, 1, 3, 2), grad_context)
+
+        grad_probs = self.attention_dropout.backward(grad_weights)
+        grad_scores = softmax_backward(grad_probs, probs, axis=-1) * scale
+        # The mask bias is constant w.r.t. inputs; no extra gradient term.
+
+        grad_queries = np.matmul(grad_scores, keys)
+        grad_keys = np.matmul(grad_scores.transpose(0, 1, 3, 2), queries)
+
+        grad_input = self.query.backward(self._merge_heads(grad_queries))
+        grad_input = grad_input + self.key.backward(self._merge_heads(grad_keys))
+        grad_input = grad_input + self.value.backward(self._merge_heads(grad_values))
+        self._cache = None
+        return grad_input

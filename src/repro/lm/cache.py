@@ -1,0 +1,88 @@
+"""Disk cache for pre-trained artefacts (MiniBERT weights, vocabularies).
+
+Pre-training happens "once per ISS / per vertical" in the paper; the cache
+makes that literal in this repository: experiments that share an ISS reuse
+the same pre-trained encoder instead of re-running MLM.  Artefacts are keyed
+by a SHA-256 content hash of whatever inputs determined them (corpus, config,
+seed), so stale reuse is impossible.
+
+The cache directory resolves, in order, to ``$REPRO_CACHE_DIR``,
+``<cwd>/.repro_cache``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def cache_dir() -> Path:
+    """The root cache directory (created on demand)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    path = Path(root) if root else Path.cwd() / ".repro_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def content_key(*parts: Any) -> str:
+    """Stable SHA-256 hex digest of a heterogeneous tuple of inputs.
+
+    Accepts strings, numbers, dicts/lists (JSON-serialised with sorted keys)
+    and lists of token lists (the corpus).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        payload = json.dumps(part, sort_keys=True, default=str)
+        digest.update(payload.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:24]
+
+
+def npz_path(kind: str, key: str) -> Path:
+    return cache_dir() / f"{kind}-{key}.npz"
+
+
+def json_path(kind: str, key: str) -> Path:
+    return cache_dir() / f"{kind}-{key}.json"
+
+
+def save_arrays(kind: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
+    path = npz_path(kind, key)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_arrays(kind: str, key: str) -> dict[str, np.ndarray] | None:
+    path = npz_path(kind, key)
+    if not path.exists():
+        return None
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_json(kind: str, key: str, payload: Any) -> Path:
+    path = json_path(kind, key)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_json(kind: str, key: str) -> Any | None:
+    path = json_path(kind, key)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def clear_cache() -> int:
+    """Delete all cached artefacts; returns the number of files removed."""
+    removed = 0
+    for path in cache_dir().glob("*"):
+        if path.suffix in {".npz", ".json"}:
+            path.unlink()
+            removed += 1
+    return removed

@@ -1,0 +1,148 @@
+"""Masked-language-model pre-training of MiniBERT on the domain corpus.
+
+Standard BERT MLM recipe: 15 % of non-special tokens are selected; of those,
+80 % are replaced by [MASK], 10 % by a random token and 10 % kept unchanged.
+The model predicts the original ids at the selected positions only.
+
+Pre-training here plays the role of BERT's Books+Wikipedia pre-training --
+it is what endows the encoder with the domain's distributional semantics
+before the ISS-specific matching-classifier pre-training (which is handled
+by :mod:`repro.featurizers.bert`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.layers import Linear, Module
+from ..nn.losses import softmax_cross_entropy
+from ..nn.optim import Adam, clip_gradients
+from .bert import MiniBert
+from .config import BertConfig
+from .tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
+from .vocab import WordPieceVocab
+
+IGNORE_INDEX = -100
+
+
+class MlmHead(Module):
+    """Linear projection from hidden states to vocabulary logits."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.projection = self.add_child(
+            "projection", Linear(config.hidden_size, config.vocab_size, rng)
+        )
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        return self.projection.forward(hidden)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        return self.projection.backward(grad_logits)
+
+
+def mask_tokens(
+    batch: EncodedPair,
+    vocab: WordPieceVocab,
+    rng: np.random.Generator,
+    mask_probability: float = 0.15,
+) -> tuple[EncodedPair, np.ndarray]:
+    """Apply BERT's 80/10/10 masking; returns (masked batch, labels).
+
+    Labels equal the original ids at masked positions and ``IGNORE_INDEX``
+    elsewhere.  Special tokens and padding are never masked.
+    """
+    input_ids = batch.input_ids.copy()
+    labels = np.full_like(input_ids, IGNORE_INDEX)
+
+    special = np.isin(input_ids, sorted(vocab.special_ids()))
+    maskable = (~special) & (batch.attention_mask == 1)
+    selected = maskable & (rng.random(input_ids.shape) < mask_probability)
+
+    labels[selected] = input_ids[selected]
+    action = rng.random(input_ids.shape)
+    replace_mask = selected & (action < 0.8)
+    replace_random = selected & (action >= 0.8) & (action < 0.9)
+    input_ids[replace_mask] = vocab.mask_id
+    num_random = int(replace_random.sum())
+    if num_random:
+        input_ids[replace_random] = rng.integers(
+            len(vocab.special_ids()), len(vocab), size=num_random
+        )
+    return (
+        EncodedPair(
+            input_ids=input_ids,
+            segment_ids=batch.segment_ids,
+            attention_mask=batch.attention_mask,
+        ),
+        labels,
+    )
+
+
+@dataclass
+class MlmTrainResult:
+    """Diagnostics of a pre-training run."""
+
+    losses: list[float]
+    steps: int
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def pretrain_mlm(
+    model: MiniBert,
+    tokenizer: WordPieceTokenizer,
+    corpus: Sequence[Sequence[str]],
+    epochs: int = 3,
+    batch_size: int = 32,
+    lr: float = 5e-4,
+    max_length: int = 32,
+    seed: int = 0,
+    max_grad_norm: float = 1.0,
+) -> MlmTrainResult:
+    """Run MLM pre-training over the corpus; mutates ``model`` in place."""
+    rng = np.random.default_rng(seed)
+    head_rng = np.random.default_rng(seed + 1)
+    head = MlmHead(model.config, head_rng)
+    parameters = {**model.parameters("bert."), **head.parameters("head.")}
+    optimizer = Adam(parameters, lr=lr)
+
+    encoded = [
+        tokenizer.encode_single(list(sentence), max_length=max_length)
+        for sentence in corpus
+        if sentence
+    ]
+    if not encoded:
+        raise ValueError("corpus is empty")
+
+    model.train()
+    head.train()
+    losses: list[float] = []
+    steps = 0
+    for _ in range(epochs):
+        order = rng.permutation(len(encoded))
+        for start in range(0, len(encoded), batch_size):
+            chunk = [encoded[int(i)] for i in order[start : start + batch_size]]
+            batch = stack_encoded(chunk)
+            masked, labels = mask_tokens(batch, tokenizer.vocab, rng)
+            if not (labels != IGNORE_INDEX).any():
+                continue
+            hidden, _ = model.forward(masked)
+            logits = head.forward(hidden)
+            loss, grad_logits = softmax_cross_entropy(
+                logits, labels, ignore_index=IGNORE_INDEX
+            )
+            optimizer.zero_grad()
+            grad_hidden = head.backward(grad_logits)
+            model.backward(grad_hidden=grad_hidden)
+            clip_gradients(parameters, max_grad_norm)
+            optimizer.step()
+            losses.append(loss)
+            steps += 1
+    model.eval()
+    return MlmTrainResult(losses=losses, steps=steps)

@@ -1,0 +1,154 @@
+"""BERT-style tokeniser: greedy longest-match WordPiece + pair encoding.
+
+Builds the model inputs the paper describes (§IV-C1): for a candidate pair
+``(a_s, a_t)`` the input sentence is
+
+    [CLS] a_s.name a_s.desc [SEP] a_t.name a_t.desc [SEP]
+
+with segment ids 0 for the first span (incl. [CLS] and the first [SEP]) and
+1 for the second, and an attention mask that is 0 on padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..text.tokenize import name_and_description_tokens
+from .vocab import WordPieceVocab
+
+
+@dataclass
+class EncodedPair:
+    """A batch-ready encoded input: ids, segment ids and attention mask."""
+
+    input_ids: np.ndarray
+    segment_ids: np.ndarray
+    attention_mask: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.attention_mask.sum())
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first WordPiece tokenisation over a vocabulary."""
+
+    def __init__(self, vocab: WordPieceVocab, max_word_length: int = 64) -> None:
+        self.vocab = vocab
+        self.max_word_length = max_word_length
+
+    def tokenize_word(self, word: str) -> list[str]:
+        """Split one word into pieces; [UNK] if any character is unknown."""
+        if not word:
+            return []
+        if len(word) > self.max_word_length:
+            return ["[UNK]"]
+        if word in self.vocab:
+            return [word]
+        pieces: list[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = f"##{candidate}"
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return ["[UNK]"]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, words: list[str]) -> list[str]:
+        """WordPiece-tokenise a list of words."""
+        pieces: list[str] = []
+        for word in words:
+            pieces.extend(self.tokenize_word(word))
+        return pieces
+
+    def ids(self, words: list[str]) -> list[int]:
+        return [self.vocab.id_of(piece) for piece in self.tokenize(words)]
+
+    # -- pair encoding ---------------------------------------------------------
+
+    def encode_pair(
+        self,
+        words_a: list[str],
+        words_b: list[str],
+        max_length: int = 64,
+    ) -> EncodedPair:
+        """Encode ``[CLS] A [SEP] B [SEP]`` with padding/truncation.
+
+        When the pair exceeds ``max_length`` the longer span is truncated
+        first (the standard BERT pair-truncation rule), preserving as much of
+        both names as possible.
+        """
+        ids_a = self.ids(words_a)
+        ids_b = self.ids(words_b)
+        budget = max_length - 3  # [CLS] + 2x[SEP]
+        while len(ids_a) + len(ids_b) > budget:
+            if len(ids_a) >= len(ids_b):
+                ids_a.pop()
+            else:
+                ids_b.pop()
+
+        input_ids = [self.vocab.cls_id] + ids_a + [self.vocab.sep_id] + ids_b + [self.vocab.sep_id]
+        segment_ids = [0] * (len(ids_a) + 2) + [1] * (len(ids_b) + 1)
+        attention = [1] * len(input_ids)
+        padding = max_length - len(input_ids)
+        input_ids.extend([self.vocab.pad_id] * padding)
+        segment_ids.extend([0] * padding)
+        attention.extend([0] * padding)
+        return EncodedPair(
+            input_ids=np.asarray(input_ids, dtype=np.int64),
+            segment_ids=np.asarray(segment_ids, dtype=np.int64),
+            attention_mask=np.asarray(attention, dtype=np.int64),
+        )
+
+    def encode_single(self, words: list[str], max_length: int = 64) -> EncodedPair:
+        """Encode a single span as ``[CLS] A [SEP]`` (used for MLM pre-training)."""
+        ids = self.ids(words)[: max_length - 2]
+        input_ids = [self.vocab.cls_id] + ids + [self.vocab.sep_id]
+        segment_ids = [0] * len(input_ids)
+        attention = [1] * len(input_ids)
+        padding = max_length - len(input_ids)
+        input_ids.extend([self.vocab.pad_id] * padding)
+        segment_ids.extend([0] * padding)
+        attention.extend([0] * padding)
+        return EncodedPair(
+            input_ids=np.asarray(input_ids, dtype=np.int64),
+            segment_ids=np.asarray(segment_ids, dtype=np.int64),
+            attention_mask=np.asarray(attention, dtype=np.int64),
+        )
+
+    def encode_attribute_pair(
+        self,
+        name_a: str,
+        desc_a: str,
+        name_b: str,
+        desc_b: str,
+        max_length: int = 64,
+    ) -> EncodedPair:
+        """Encode the paper's candidate-pair sentence from raw attribute fields."""
+        return self.encode_pair(
+            name_and_description_tokens(name_a, desc_a),
+            name_and_description_tokens(name_b, desc_b),
+            max_length=max_length,
+        )
+
+
+def stack_encoded(pairs: list[EncodedPair]) -> EncodedPair:
+    """Stack individually encoded pairs into one batched :class:`EncodedPair`."""
+    if not pairs:
+        raise ValueError("cannot stack an empty list of encoded pairs")
+    return EncodedPair(
+        input_ids=np.stack([pair.input_ids for pair in pairs]),
+        segment_ids=np.stack([pair.segment_ids for pair in pairs]),
+        attention_mask=np.stack([pair.attention_mask for pair in pairs]),
+    )

@@ -1,0 +1,202 @@
+"""Minimal neural-network layer library on numpy.
+
+The reproduction cannot ship PyTorch/transformers, so every trainable model
+(MiniBERT, the matching classifier, skip-gram) is built on this hand-rolled
+substrate.  Design decisions:
+
+* **Explicit forward/backward.** No autograd tape; each layer caches what its
+  backward pass needs.  A layer instance therefore supports exactly one
+  in-flight forward at a time (the usage pattern of every model here).
+* **float32 throughout** for speed and memory.
+* **Named parameters.** ``Module.parameters()`` returns an ordered
+  ``{name: Parameter}`` dict, which the optimisers and the npz serialiser
+  consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE = np.float32
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=DTYPE)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Module:
+    """Base class: parameter registry plus train/eval mode flag."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._children: dict[str, "Module"] = {}
+        self.training = True
+
+    def register(self, name: str, value: np.ndarray) -> Parameter:
+        parameter = Parameter(value)
+        self._parameters[name] = parameter
+        return parameter
+
+    def add_child(self, name: str, module: "Module") -> "Module":
+        self._children[name] = module
+        return module
+
+    def parameters(self, prefix: str = "") -> dict[str, Parameter]:
+        """All parameters of this module and its children, name-qualified."""
+        result: dict[str, Parameter] = {}
+        for name, parameter in self._parameters.items():
+            result[f"{prefix}{name}"] = parameter
+        for child_name, child in self._children.items():
+            result.update(child.parameters(prefix=f"{prefix}{child_name}."))
+        return result
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters().values():
+            parameter.zero_grad()
+
+    def train(self) -> None:
+        self.training = True
+        for child in self._children.values():
+            child.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for child in self._children.values():
+            child.eval()
+
+    def num_parameters(self) -> int:
+        return sum(p.value.size for p in self.parameters().values())
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(DTYPE)
+
+
+def normal_init(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """BERT-style truncated-ish normal initialisation (plain normal here)."""
+    return (rng.standard_normal(shape) * std).astype(DTYPE)
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` for inputs of shape (..., fan_in)."""
+
+    def __init__(self, fan_in: int, fan_out: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fan_in = fan_in
+        self.fan_out = fan_out
+        self.weight = self.register("weight", xavier_uniform(rng, fan_in, fan_out))
+        self.bias = self.register("bias", np.zeros(fan_out, dtype=DTYPE))
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input is not None, "backward before forward"
+        x = self._input
+        flat_x = x.reshape(-1, self.fan_in)
+        flat_grad = grad_output.reshape(-1, self.fan_out)
+        self.weight.grad += flat_x.T @ flat_grad
+        self.bias.grad += flat_grad.sum(axis=0)
+        grad_input = grad_output @ self.weight.value.T
+        self._input = None
+        return grad_input
+
+
+class Embedding(Module):
+    """Lookup table; rows indexed by integer ids of any shape."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.table = self.register("table", normal_init(rng, (num_embeddings, dim)))
+        self._ids: np.ndarray | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        self._ids = np.asarray(ids)
+        return self.table.value[self._ids]
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        assert self._ids is not None, "backward before forward"
+        flat_ids = self._ids.reshape(-1)
+        flat_grad = grad_output.reshape(-1, self.dim)
+        np.add.at(self.table.grad, flat_ids, flat_grad)
+        self._ids = None
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = self.register("gamma", np.ones(dim, dtype=DTYPE))
+        self.beta = self.register("beta", np.zeros(dim, dtype=DTYPE))
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalised = (x - mean) * inv_std
+        self._cache = (normalised, inv_std, x)
+        return normalised * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        normalised, inv_std, _ = self._cache
+        axes = tuple(range(grad_output.ndim - 1))
+        self.gamma.grad += (grad_output * normalised).sum(axis=axes)
+        self.beta.grad += grad_output.sum(axis=axes)
+        grad_norm = grad_output * self.gamma.value
+        # d/dx of (x - mean) * inv_std, standard layer-norm backward:
+        mean_grad = grad_norm.mean(axis=-1, keepdims=True)
+        mean_grad_norm = (grad_norm * normalised).mean(axis=-1, keepdims=True)
+        grad_input = (grad_norm - mean_grad - normalised * mean_grad_norm) * inv_std
+        self._cache = None
+        return grad_input
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode or with rate 0."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1): {rate}")
+        self.rate = rate
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep).astype(DTYPE) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        grad_input = grad_output * self._mask
+        self._mask = None
+        return grad_input

@@ -1,0 +1,84 @@
+"""Loss functions returning (scalar loss, gradient w.r.t. logits).
+
+Both losses support per-sample weights -- the BERT featurizer weights
+human-provided labels above ISS-generated pre-training samples (§IV-C1) --
+and an ``ignore_index`` for the masked-LM objective (unmasked positions do
+not contribute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import log_softmax, sigmoid
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    ignore_index: int | None = None,
+    weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy over the last axis.
+
+    Parameters
+    ----------
+    logits: shape ``(..., num_classes)``.
+    targets: integer class ids, shape ``(...)``.
+    ignore_index: target value to exclude from the mean (MLM's unmasked slots).
+    weights: optional per-sample weights broadcastable to ``targets``.
+    """
+    flat_logits = logits.reshape(-1, logits.shape[-1]).astype(np.float64)
+    flat_targets = np.asarray(targets).reshape(-1)
+    sample_weights = (
+        np.ones(flat_targets.shape[0], dtype=np.float64)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64).reshape(-1)
+    )
+    if ignore_index is not None:
+        sample_weights = sample_weights * (flat_targets != ignore_index)
+        # Clamp ignored ids so they index validly; their weight is zero.
+        flat_targets = np.where(flat_targets == ignore_index, 0, flat_targets)
+
+    total_weight = sample_weights.sum()
+    log_probs = log_softmax(flat_logits, axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    picked = log_probs[rows, flat_targets]
+    if total_weight == 0.0:
+        return 0.0, np.zeros_like(logits)
+    loss = float(-(picked * sample_weights).sum() / total_weight)
+
+    probs = np.exp(log_probs)
+    grad = probs
+    grad[rows, flat_targets] -= 1.0
+    grad *= (sample_weights / total_weight)[:, None]
+    return loss, grad.reshape(logits.shape).astype(logits.dtype)
+
+
+def binary_cross_entropy_with_logits(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Mean binary cross-entropy on raw logits (stable log-sum-exp form)."""
+    flat_logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    flat_targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    sample_weights = (
+        np.ones_like(flat_targets)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64).reshape(-1)
+    )
+    total_weight = sample_weights.sum()
+    if total_weight == 0.0:
+        return 0.0, np.zeros_like(logits)
+
+    # loss_i = max(z,0) - z*t + log(1 + exp(-|z|))
+    z = flat_logits
+    per_sample = np.maximum(z, 0.0) - z * flat_targets + np.log1p(np.exp(-np.abs(z)))
+    loss = float((per_sample * sample_weights).sum() / total_weight)
+
+    probs = sigmoid(z)
+    grad = (probs - flat_targets) * sample_weights / total_weight
+    return loss, grad.reshape(np.shape(logits)).astype(
+        logits.dtype if hasattr(logits, "dtype") else np.float64
+    )

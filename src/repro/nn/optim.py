@@ -1,0 +1,112 @@
+"""Optimisers over named :class:`~repro.nn.layers.Parameter` dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Parameter
+
+
+def clip_gradients(parameters: dict[str, Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging/diagnostics).
+    """
+    total = 0.0
+    for parameter in parameters.values():
+        total += float(np.sum(parameter.grad.astype(np.float64) ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for parameter in parameters.values():
+            parameter.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimiser; subclasses implement :meth:`_update`."""
+
+    def __init__(self, parameters: dict[str, Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.parameters = parameters
+        self.lr = lr
+
+    def step(self) -> None:
+        for name, parameter in self.parameters.items():
+            self._update(name, parameter)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters.values():
+            parameter.zero_grad()
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: dict[str, Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        if self.momentum > 0.0:
+            velocity = self._velocity.get(name)
+            if velocity is None:
+                velocity = np.zeros_like(parameter.value)
+            velocity = self.momentum * velocity - self.lr * parameter.grad
+            self._velocity[name] = velocity
+            parameter.value += velocity
+        else:
+            parameter.value -= self.lr * parameter.grad
+
+
+class Adam(Optimizer):
+    """Adam with decoupled weight decay (AdamW-style), BERT's optimiser."""
+
+    def __init__(
+        self,
+        parameters: dict[str, Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment: dict[str, np.ndarray] = {}
+        self._second_moment: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        super().step()
+
+    def _update(self, name: str, parameter: Parameter) -> None:
+        grad = parameter.grad
+        m = self._first_moment.get(name)
+        v = self._second_moment.get(name)
+        if m is None:
+            m = np.zeros_like(parameter.value)
+            v = np.zeros_like(parameter.value)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        self._first_moment[name] = m
+        self._second_moment[name] = v
+
+        m_hat = m / (1.0 - self.beta1**self._step_count)
+        v_hat = v / (1.0 - self.beta2**self._step_count)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay > 0.0 and not name.endswith(("bias", "beta", "gamma")):
+            update = update + self.weight_decay * parameter.value
+        parameter.value -= self.lr * update

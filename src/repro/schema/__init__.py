@@ -1,0 +1,60 @@
+"""E/R schema model, join graph, serialisation and validation."""
+
+from .model import (
+    Attribute,
+    AttributeRef,
+    Correspondence,
+    DataType,
+    Entity,
+    EntityMatch,
+    MatchResult,
+    Relationship,
+    Schema,
+    ground_truth_from_pairs,
+)
+from .graph import JoinGraph, UNREACHABLE_DISTANCE
+from .serialize import (
+    ground_truth_from_dict,
+    ground_truth_to_dict,
+    load_ground_truth,
+    load_schema,
+    save_ground_truth,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from .validate import (
+    ValidationError,
+    validate_dataset,
+    validate_dtype_compatibility,
+    validate_match_result,
+    validate_total_ground_truth,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeRef",
+    "Correspondence",
+    "DataType",
+    "Entity",
+    "EntityMatch",
+    "JoinGraph",
+    "MatchResult",
+    "Relationship",
+    "Schema",
+    "UNREACHABLE_DISTANCE",
+    "ValidationError",
+    "ground_truth_from_dict",
+    "ground_truth_from_pairs",
+    "ground_truth_to_dict",
+    "load_ground_truth",
+    "load_schema",
+    "save_ground_truth",
+    "save_schema",
+    "schema_from_dict",
+    "schema_to_dict",
+    "validate_dataset",
+    "validate_dtype_compatibility",
+    "validate_match_result",
+    "validate_total_ground_truth",
+]

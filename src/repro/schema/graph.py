@@ -1,0 +1,69 @@
+"""Join-graph utilities over a schema's PK/FK relationships.
+
+The paper's new-entity penalty (Section IV-D) needs ``sp(a_t, M)``: the
+shortest-path distance, on the join graph of the ISS, between the entity that
+contains a candidate target attribute and the entities already present in the
+current set of matches.  This module builds that graph with networkx and
+answers those distance queries, with an all-pairs cache for repeated use
+inside the interactive loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from .model import Schema
+
+#: Distance assigned when two entities are in disconnected components.  Any
+#: finite value works as long as it dominates real path lengths; the penalty
+#: term 1/(1 + log(1 + sp)) then decays towards its floor.
+UNREACHABLE_DISTANCE = 25
+
+
+class JoinGraph:
+    """Undirected entity graph with one edge per PK/FK relationship."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(entity.name for entity in schema.entities)
+        for relationship in schema.relationships:
+            self.graph.add_edge(relationship.child.entity, relationship.parent.entity)
+        self._distances: dict[str, dict[str, int]] | None = None
+
+    def _all_pairs(self) -> dict[str, dict[str, int]]:
+        if self._distances is None:
+            self._distances = {
+                source: dict(lengths)
+                for source, lengths in nx.all_pairs_shortest_path_length(self.graph)
+            }
+        return self._distances
+
+    def distance(self, entity_a: str, entity_b: str) -> int:
+        """Hop distance between two entities (UNREACHABLE_DISTANCE if disconnected)."""
+        if entity_a == entity_b:
+            return 0
+        lengths = self._all_pairs().get(entity_a, {})
+        return lengths.get(entity_b, UNREACHABLE_DISTANCE)
+
+    def distance_to_set(self, entity: str, matched_entities: Iterable[str]) -> int:
+        """``sp(a_t, M)``: min hop distance from ``entity`` to any matched entity.
+
+        Returns 0 when ``entity`` is itself already matched, and
+        ``UNREACHABLE_DISTANCE`` when the matched set is empty or unreachable
+        (the paper leaves this case open; a large-but-finite distance keeps
+        the penalty bounded away from zero so scores remain comparable).
+        """
+        matched = list(matched_entities)
+        if not matched:
+            return UNREACHABLE_DISTANCE
+        return min(self.distance(entity, other) for other in matched)
+
+    def neighbors(self, entity: str) -> list[str]:
+        """Entities one join away from ``entity``."""
+        return sorted(self.graph.neighbors(entity))
+
+    def connected_components(self) -> list[set[str]]:
+        return [set(component) for component in nx.connected_components(self.graph)]

@@ -1,0 +1,452 @@
+"""Relational E/R schema model used throughout the reproduction.
+
+The paper (Section II) assumes both the source (customer) schema and the
+target industry-specific schema (ISS) follow the E/R model: a schema is a set
+of entities, each entity owns a set of attributes, and entities are connected
+through PK/FK relationships.  Each attribute has a name, a data type, and an
+optional natural-language description.
+
+This module provides immutable-ish dataclasses for that model plus the match
+artefacts defined in the paper:
+
+* :class:`Attribute`, :class:`Entity`, :class:`Relationship`, :class:`Schema`
+* :class:`Correspondence` -- an attribute correspondence ``(a_s, a_t)``
+* :class:`EntityMatch` -- Definition 1 of the paper
+* :class:`MatchResult` -- Definition 2 of the paper
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class DataType(enum.Enum):
+    """Coarse data-type lattice used for the dtype-compatibility filter.
+
+    The paper zeroes the score of candidate pairs whose attributes have
+    incompatible data types (Section IV-D).  We model compatibility at the
+    granularity the paper implies: textual, integral, fractional, temporal,
+    boolean and binary families, with ``UNKNOWN`` compatible with everything
+    (a missing type must never veto a match).
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    DATETIME = "datetime"
+    TIME = "time"
+    BINARY = "binary"
+    UNKNOWN = "unknown"
+
+    @property
+    def family(self) -> str:
+        """Return the compatibility family this type belongs to."""
+        return _TYPE_FAMILY[self]
+
+    def is_compatible(self, other: "DataType") -> bool:
+        """Whether a source attribute of this type may match ``other``.
+
+        Types are compatible when they share a family, or when either side is
+        ``UNKNOWN``.  Numeric (integral/fractional) types are mutually
+        compatible: real schemata frequently store counts as decimals.
+        """
+        if self is DataType.UNKNOWN or other is DataType.UNKNOWN:
+            return True
+        return self.family == other.family
+
+    @classmethod
+    def parse(cls, text: str) -> "DataType":
+        """Parse a SQL-ish type name (``"VARCHAR(30)"``, ``"bigint"``, ...)."""
+        head = text.strip().lower().split("(")[0].strip()
+        return _SQL_TYPE_ALIASES.get(head, cls.UNKNOWN)
+
+
+_TYPE_FAMILY: dict[DataType, str] = {
+    DataType.STRING: "text",
+    DataType.INTEGER: "numeric",
+    DataType.FLOAT: "numeric",
+    DataType.DECIMAL: "numeric",
+    DataType.BOOLEAN: "boolean",
+    DataType.DATE: "temporal",
+    DataType.DATETIME: "temporal",
+    DataType.TIME: "temporal",
+    DataType.BINARY: "binary",
+    DataType.UNKNOWN: "unknown",
+}
+
+_SQL_TYPE_ALIASES: dict[str, DataType] = {
+    "char": DataType.STRING,
+    "varchar": DataType.STRING,
+    "nvarchar": DataType.STRING,
+    "text": DataType.STRING,
+    "string": DataType.STRING,
+    "uuid": DataType.STRING,
+    "int": DataType.INTEGER,
+    "integer": DataType.INTEGER,
+    "bigint": DataType.INTEGER,
+    "smallint": DataType.INTEGER,
+    "tinyint": DataType.INTEGER,
+    "serial": DataType.INTEGER,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "decimal": DataType.DECIMAL,
+    "numeric": DataType.DECIMAL,
+    "money": DataType.DECIMAL,
+    "bool": DataType.BOOLEAN,
+    "boolean": DataType.BOOLEAN,
+    "bit": DataType.BOOLEAN,
+    "date": DataType.DATE,
+    "datetime": DataType.DATETIME,
+    "timestamp": DataType.DATETIME,
+    "time": DataType.TIME,
+    "blob": DataType.BINARY,
+    "binary": DataType.BINARY,
+    "varbinary": DataType.BINARY,
+}
+
+
+@dataclass(frozen=True, order=True)
+class AttributeRef:
+    """Fully qualified reference to an attribute: ``entity.attribute``."""
+
+    entity: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.entity}.{self.attribute}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AttributeRef":
+        """Parse ``"Entity.attribute"`` into a reference."""
+        entity, sep, attribute = text.partition(".")
+        if not sep or not entity or not attribute:
+            raise ValueError(f"not a qualified attribute reference: {text!r}")
+        return cls(entity=entity, attribute=attribute)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An attribute of an entity (Section II: name, dtype, optional desc)."""
+
+    name: str
+    dtype: DataType = DataType.UNKNOWN
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A PK/FK relationship: ``child.fk_attribute`` references ``parent.pk``."""
+
+    child: AttributeRef
+    parent: AttributeRef
+
+    def endpoints(self) -> tuple[AttributeRef, AttributeRef]:
+        return (self.child, self.parent)
+
+    def __str__(self) -> str:
+        return f"{self.child} -> {self.parent}"
+
+
+@dataclass
+class Entity:
+    """An entity: a name, attributes, a primary key and foreign keys."""
+
+    name: str
+    attributes: list[Attribute] = field(default_factory=list)
+    primary_key: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("entity name must be non-empty")
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if attribute.name in seen:
+                raise ValueError(
+                    f"duplicate attribute {attribute.name!r} in entity {self.name!r}"
+                )
+            seen.add(attribute.name)
+        if self.primary_key is not None and self.primary_key not in seen:
+            raise ValueError(
+                f"primary key {self.primary_key!r} is not an attribute of {self.name!r}"
+            )
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name`` (KeyError if absent)."""
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(f"{self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def attribute_refs(self) -> list[AttributeRef]:
+        return [AttributeRef(self.name, a.name) for a in self.attributes]
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+class Schema:
+    """A relational schema: entities plus PK/FK relationships.
+
+    The class validates referential integrity on construction: every
+    relationship endpoint must name an existing entity/attribute, and entity
+    names must be unique.  Lookup by :class:`AttributeRef` is O(1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entities: Iterable[Entity],
+        relationships: Iterable[Relationship] = (),
+    ) -> None:
+        self.name = name
+        self.entities: list[Entity] = list(entities)
+        self.relationships: list[Relationship] = list(relationships)
+
+        self._entity_index: dict[str, Entity] = {}
+        for entity in self.entities:
+            if entity.name in self._entity_index:
+                raise ValueError(f"duplicate entity {entity.name!r} in schema {name!r}")
+            self._entity_index[entity.name] = entity
+
+        self._attribute_index: dict[AttributeRef, Attribute] = {}
+        for entity in self.entities:
+            for attribute in entity.attributes:
+                self._attribute_index[AttributeRef(entity.name, attribute.name)] = attribute
+
+        for relationship in self.relationships:
+            for ref in relationship.endpoints():
+                if ref not in self._attribute_index:
+                    raise ValueError(
+                        f"relationship {relationship} references unknown attribute {ref}"
+                    )
+
+    # -- entity / attribute access -------------------------------------------------
+
+    def entity(self, name: str) -> Entity:
+        """Return the entity called ``name`` (KeyError if absent)."""
+        return self._entity_index[name]
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entity_index
+
+    def attribute(self, ref: AttributeRef | str) -> Attribute:
+        """Return the attribute at ``ref`` (accepts ``"Entity.attr"`` strings)."""
+        if isinstance(ref, str):
+            ref = AttributeRef.parse(ref)
+        return self._attribute_index[ref]
+
+    def has_attribute(self, ref: AttributeRef | str) -> bool:
+        if isinstance(ref, str):
+            try:
+                ref = AttributeRef.parse(ref)
+            except ValueError:
+                return False
+        return ref in self._attribute_index
+
+    def attribute_refs(self) -> list[AttributeRef]:
+        """All attribute references, in entity declaration order."""
+        return list(self._attribute_index)
+
+    def iter_attributes(self) -> Iterator[tuple[AttributeRef, Attribute]]:
+        yield from self._attribute_index.items()
+
+    # -- keys ----------------------------------------------------------------------
+
+    def key_refs(self) -> list[AttributeRef]:
+        """PK and FK attributes, the paper's default *anchor set* (§IV-E2)."""
+        anchors: list[AttributeRef] = []
+        seen: set[AttributeRef] = set()
+        for entity in self.entities:
+            if entity.primary_key is not None:
+                ref = AttributeRef(entity.name, entity.primary_key)
+                if ref not in seen:
+                    anchors.append(ref)
+                    seen.add(ref)
+        for relationship in self.relationships:
+            if relationship.child not in seen:
+                anchors.append(relationship.child)
+                seen.add(relationship.child)
+        return anchors
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attribute_index)
+
+    @property
+    def num_relationships(self) -> int:
+        return len(self.relationships)
+
+    def num_unique_attribute_names(self) -> int:
+        """Count of distinct (case-folded) attribute names, as in Table I."""
+        return len({a.name.lower() for a in self._attribute_index.values()})
+
+    def has_descriptions(self) -> bool:
+        """Whether any attribute carries a natural-language description."""
+        return any(a.description for a in self._attribute_index.values())
+
+    def stats(self) -> dict[str, object]:
+        """Summary statistics matching the columns of Tables I and II."""
+        return {
+            "name": self.name,
+            "entities": self.num_entities,
+            "attributes": self.num_attributes,
+            "unique_attribute_names": self.num_unique_attribute_names(),
+            "pk_fk": self.num_relationships,
+            "descriptions": self.has_descriptions(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({self.name!r}, entities={self.num_entities}, "
+            f"attributes={self.num_attributes}, pkfk={self.num_relationships})"
+        )
+
+
+@dataclass(frozen=True, order=True)
+class Correspondence:
+    """An attribute correspondence ``r_ij = (a_i, a_j)`` (Section II).
+
+    ``source`` is an attribute of the source schema and ``target`` an
+    attribute of the target schema; the correspondence denotes equality (the
+    paper leaves value transformations to future work).
+    """
+
+    source: AttributeRef
+    target: AttributeRef
+
+    def __str__(self) -> str:
+        return f"{self.source} = {self.target}"
+
+
+@dataclass
+class EntityMatch:
+    """Definition 1: a triple ``(e_s, e_t, m)`` of matched entities.
+
+    ``m`` is a set of attribute correspondences between the two entities in
+    which each source and target attribute occurs at most once.  Setting
+    ``strict=False`` waives the target-uniqueness half of that check: a
+    *noisy* human labeller can map two source attributes onto the same ISS
+    attribute, and the simulated sessions must be able to represent that
+    (imperfect) outcome to measure its accuracy.
+    """
+
+    source_entity: str
+    target_entity: str
+    correspondences: list[Correspondence] = field(default_factory=list)
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        sources = [c.source for c in self.correspondences]
+        targets = [c.target for c in self.correspondences]
+        if len(sources) != len(set(sources)):
+            raise ValueError("attributes may occur in at most one correspondence")
+        if self.strict and len(targets) != len(set(targets)):
+            raise ValueError("attributes may occur in at most one correspondence")
+        for c in self.correspondences:
+            if c.source.entity != self.source_entity:
+                raise ValueError(f"{c} does not belong to source entity {self.source_entity!r}")
+            if c.target.entity != self.target_entity:
+                raise ValueError(f"{c} does not belong to target entity {self.target_entity!r}")
+
+
+class MatchResult:
+    """Definition 2: the result of schema matching.
+
+    A set of entity matches in which each source and target attribute appears
+    in at most one correspondence overall.  The result is usually built
+    incrementally from correspondences via :meth:`from_correspondences`.
+    """
+
+    def __init__(self, entity_matches: Iterable[EntityMatch] = ()) -> None:
+        self.entity_matches: list[EntityMatch] = list(entity_matches)
+        self._by_source: dict[AttributeRef, Correspondence] = {}
+        for match in self.entity_matches:
+            for c in match.correspondences:
+                if c.source in self._by_source:
+                    raise ValueError(f"source attribute {c.source} matched twice")
+                self._by_source[c.source] = c
+
+    @classmethod
+    def from_correspondences(
+        cls,
+        correspondences: Iterable[Correspondence],
+        strict: bool = True,
+    ) -> "MatchResult":
+        """Group flat correspondences into per-entity-pair matches.
+
+        ``strict=False`` permits duplicate *target* attributes (the output
+        of a noisy labelling session); duplicate sources are always invalid.
+        """
+        grouped: dict[tuple[str, str], list[Correspondence]] = {}
+        for c in correspondences:
+            grouped.setdefault((c.source.entity, c.target.entity), []).append(c)
+        matches = [
+            EntityMatch(
+                source_entity=src, target_entity=tgt, correspondences=cs, strict=strict
+            )
+            for (src, tgt), cs in sorted(grouped.items())
+        ]
+        return cls(matches)
+
+    def correspondences(self) -> list[Correspondence]:
+        """All correspondences, flattened."""
+        return [c for match in self.entity_matches for c in match.correspondences]
+
+    def mapping(self) -> dict[AttributeRef, AttributeRef]:
+        """Source-attribute -> target-attribute dictionary."""
+        return {c.source: c.target for c in self._by_source.values()}
+
+    def target_for(self, source: AttributeRef) -> AttributeRef | None:
+        """The matched target for ``source``, or None if unmatched."""
+        c = self._by_source.get(source)
+        return c.target if c is not None else None
+
+    def matched_target_entities(self) -> set[str]:
+        """Target entities that participate in at least one correspondence."""
+        return {m.target_entity for m in self.entity_matches if m.correspondences}
+
+    def __len__(self) -> int:
+        return len(self._by_source)
+
+    def __contains__(self, source: AttributeRef) -> bool:
+        return source in self._by_source
+
+    def accuracy_against(self, truth: Mapping[AttributeRef, AttributeRef]) -> float:
+        """Fraction of ground-truth correspondences recovered exactly."""
+        if not truth:
+            return 1.0
+        hits = sum(1 for s, t in truth.items() if self.target_for(s) == t)
+        return hits / len(truth)
+
+
+def ground_truth_from_pairs(
+    pairs: Sequence[tuple[str, str]],
+) -> dict[AttributeRef, AttributeRef]:
+    """Build a ground-truth mapping from ``("E.a", "F.b")`` string pairs."""
+    truth: dict[AttributeRef, AttributeRef] = {}
+    for source_text, target_text in pairs:
+        source = AttributeRef.parse(source_text)
+        if source in truth:
+            raise ValueError(f"duplicate ground truth for {source}")
+        truth[source] = AttributeRef.parse(target_text)
+    return truth

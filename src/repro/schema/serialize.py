@@ -1,0 +1,121 @@
+"""JSON (de)serialisation for schemata and ground-truth mappings.
+
+The on-disk format is a plain JSON document so that customer schemata can be
+exchanged without the customer's data records ever leaving their premises
+(the paper's data-free constraint):
+
+.. code-block:: json
+
+    {
+      "name": "customer_a",
+      "entities": [
+        {"name": "Orders", "primary_key": "order_id", "description": "",
+         "attributes": [
+            {"name": "order_id", "dtype": "integer", "description": "..."}]}
+      ],
+      "relationships": [
+        {"child": "Orders.item_id", "parent": "Item.item_id"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .model import (
+    Attribute,
+    AttributeRef,
+    DataType,
+    Entity,
+    Relationship,
+    Schema,
+)
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """Convert a schema to a JSON-compatible dictionary."""
+    return {
+        "name": schema.name,
+        "entities": [
+            {
+                "name": entity.name,
+                "primary_key": entity.primary_key,
+                "description": entity.description,
+                "attributes": [
+                    {
+                        "name": attribute.name,
+                        "dtype": attribute.dtype.value,
+                        "description": attribute.description,
+                    }
+                    for attribute in entity.attributes
+                ],
+            }
+            for entity in schema.entities
+        ],
+        "relationships": [
+            {"child": str(rel.child), "parent": str(rel.parent)}
+            for rel in schema.relationships
+        ],
+    }
+
+
+def schema_from_dict(payload: Mapping) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    entities = [
+        Entity(
+            name=entity["name"],
+            primary_key=entity.get("primary_key"),
+            description=entity.get("description", ""),
+            attributes=[
+                Attribute(
+                    name=attribute["name"],
+                    dtype=DataType(attribute.get("dtype", "unknown")),
+                    description=attribute.get("description", ""),
+                )
+                for attribute in entity.get("attributes", [])
+            ],
+        )
+        for entity in payload["entities"]
+    ]
+    relationships = [
+        Relationship(
+            child=AttributeRef.parse(rel["child"]),
+            parent=AttributeRef.parse(rel["parent"]),
+        )
+        for rel in payload.get("relationships", [])
+    ]
+    return Schema(payload["name"], entities, relationships)
+
+
+def save_schema(schema: Schema, path: str | Path) -> None:
+    """Write a schema to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2))
+
+
+def load_schema(path: str | Path) -> Schema:
+    """Read a schema previously written by :func:`save_schema`."""
+    return schema_from_dict(json.loads(Path(path).read_text()))
+
+
+def ground_truth_to_dict(truth: Mapping[AttributeRef, AttributeRef]) -> dict[str, str]:
+    """Serialise a ground-truth mapping as ``{"E.a": "F.b"}``."""
+    return {str(source): str(target) for source, target in truth.items()}
+
+
+def ground_truth_from_dict(payload: Mapping[str, str]) -> dict[AttributeRef, AttributeRef]:
+    """Inverse of :func:`ground_truth_to_dict`."""
+    return {
+        AttributeRef.parse(source): AttributeRef.parse(target)
+        for source, target in payload.items()
+    }
+
+
+def save_ground_truth(truth: Mapping[AttributeRef, AttributeRef], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(ground_truth_to_dict(truth), indent=2))
+
+
+def load_ground_truth(path: str | Path) -> dict[AttributeRef, AttributeRef]:
+    return ground_truth_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,95 @@
+"""Validation of schemata and match artefacts beyond constructor checks.
+
+:class:`~repro.schema.model.Schema` enforces structural integrity at
+construction time.  The functions here perform the cross-object checks the
+matching pipeline relies on: that a ground truth is *total* over the source
+schema (the paper assumes every source attribute has a target match, §V-A),
+that correspondences reference real attributes, and that data types across a
+ground truth are compatible (used as a sanity check on generated datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .model import AttributeRef, MatchResult, Schema
+
+
+class ValidationError(ValueError):
+    """Raised when a schema/match artefact violates an invariant."""
+
+
+def validate_correspondence_endpoints(
+    source_schema: Schema,
+    target_schema: Schema,
+    truth: Mapping[AttributeRef, AttributeRef],
+) -> None:
+    """Every ground-truth endpoint must exist in its schema."""
+    for source, target in truth.items():
+        if not source_schema.has_attribute(source):
+            raise ValidationError(f"unknown source attribute {source}")
+        if not target_schema.has_attribute(target):
+            raise ValidationError(f"unknown target attribute {target}")
+
+
+def validate_total_ground_truth(
+    source_schema: Schema,
+    truth: Mapping[AttributeRef, AttributeRef],
+) -> None:
+    """The paper assumes each source attribute has a match in the ISS (§V-A)."""
+    missing = [ref for ref in source_schema.attribute_refs() if ref not in truth]
+    if missing:
+        sample = ", ".join(str(ref) for ref in missing[:5])
+        raise ValidationError(
+            f"{len(missing)} source attribute(s) lack ground truth (e.g. {sample})"
+        )
+
+
+def validate_dtype_compatibility(
+    source_schema: Schema,
+    target_schema: Schema,
+    truth: Mapping[AttributeRef, AttributeRef],
+) -> list[tuple[AttributeRef, AttributeRef]]:
+    """Return ground-truth pairs with incompatible data types.
+
+    The paper observes that "in nearly all correct matches, the source and
+    target attributes have compatible data types"; generated datasets should
+    produce an empty list here, otherwise the dtype filter would make those
+    matches unreachable.
+    """
+    incompatible: list[tuple[AttributeRef, AttributeRef]] = []
+    for source, target in truth.items():
+        source_dtype = source_schema.attribute(source).dtype
+        target_dtype = target_schema.attribute(target).dtype
+        if not source_dtype.is_compatible(target_dtype):
+            incompatible.append((source, target))
+    return incompatible
+
+
+def validate_match_result(
+    source_schema: Schema,
+    target_schema: Schema,
+    result: MatchResult,
+) -> None:
+    """A match result must reference only real attributes (Definition 2)."""
+    for correspondence in result.correspondences():
+        if not source_schema.has_attribute(correspondence.source):
+            raise ValidationError(f"unknown source attribute {correspondence.source}")
+        if not target_schema.has_attribute(correspondence.target):
+            raise ValidationError(f"unknown target attribute {correspondence.target}")
+
+
+def validate_dataset(
+    source_schema: Schema,
+    target_schema: Schema,
+    truth: Mapping[AttributeRef, AttributeRef],
+) -> None:
+    """Run the full invariant suite used on every packaged dataset."""
+    validate_correspondence_endpoints(source_schema, target_schema, truth)
+    validate_total_ground_truth(source_schema, truth)
+    mismatched = validate_dtype_compatibility(source_schema, target_schema, truth)
+    if mismatched:
+        sample = ", ".join(f"{s}~{t}" for s, t in mismatched[:5])
+        raise ValidationError(
+            f"{len(mismatched)} ground-truth pair(s) have incompatible dtypes ({sample})"
+        )

@@ -1,0 +1,136 @@
+"""Abbreviation dictionary for schema identifier tokens.
+
+Customer schemata abound with abbreviations (the paper's ``Item.EAN`` ->
+``Product.european_article_number`` example).  This table maps common
+database-identifier abbreviations to their expansions; it is used by
+
+* the corpus generator (so the language model sees both surface forms),
+* the customer-schema generators (to *introduce* abbreviation noise), and
+* tokens-level expansion in several baselines (CUPID, S-MATCH).
+
+The table is intentionally a plain dict so users can extend it.
+"""
+
+from __future__ import annotations
+
+from .tokenize import split_identifier
+
+#: abbreviation -> expansion (expansions may be multi-word).
+ABBREVIATIONS: dict[str, str] = {
+    "acct": "account",
+    "addr": "address",
+    "amt": "amount",
+    "avg": "average",
+    "bal": "balance",
+    "cat": "category",
+    "cd": "code",
+    "chg": "charge",
+    "cnt": "count",
+    "co": "company",
+    "ctry": "country",
+    "curr": "currency",
+    "cust": "customer",
+    "del": "delivery",
+    "dept": "department",
+    "desc": "description",
+    "dim": "dimension",
+    "disc": "discount",
+    "dist": "distribution",
+    "dob": "date of birth",
+    "dt": "date",
+    "ean": "european article number",
+    "emp": "employee",
+    "exp": "expiration",
+    "fn": "first name",
+    "freq": "frequency",
+    "grp": "group",
+    "hr": "hour",
+    "inv": "invoice",
+    "lang": "language",
+    "ln": "last name",
+    "loc": "location",
+    "max": "maximum",
+    "mfg": "manufacturing",
+    "mfr": "manufacturer",
+    "min": "minimum",
+    "mgr": "manager",
+    "msg": "message",
+    "nbr": "number",
+    "no": "number",
+    "num": "number",
+    "ord": "order",
+    "org": "organization",
+    "pct": "percentage",
+    "perc": "percentage",
+    "ph": "phone",
+    "pmt": "payment",
+    "pos": "point of sale",
+    "prc": "price",
+    "prod": "product",
+    "promo": "promotion",
+    "pt": "point",
+    "qty": "quantity",
+    "rcpt": "receipt",
+    "ref": "reference",
+    "reg": "register",
+    "ret": "return",
+    "rev": "revenue",
+    "rtn": "return",
+    "seq": "sequence",
+    "shp": "shipping",
+    "sku": "stock keeping unit",
+    "src": "source",
+    "st": "street",
+    "std": "standard",
+    "stmt": "statement",
+    "sts": "status",
+    "sup": "supplier",
+    "tel": "telephone",
+    "tot": "total",
+    "trx": "transaction",
+    "txn": "transaction",
+    "typ": "type",
+    "upc": "universal product code",
+    "uom": "unit of measure",
+    "val": "value",
+    "vend": "vendor",
+    "wh": "warehouse",
+    "whse": "warehouse",
+    "yr": "year",
+}
+
+#: expansion word -> preferred abbreviation (first abbreviation wins on ties).
+_REVERSE: dict[str, str] = {}
+for _abbrev, _expansion in ABBREVIATIONS.items():
+    _REVERSE.setdefault(_expansion, _abbrev)
+
+
+def expand_token(token: str) -> str:
+    """Expand a single token if it is a known abbreviation, else return it."""
+    return ABBREVIATIONS.get(token.lower(), token)
+
+
+def expand_tokens(tokens: list[str]) -> list[str]:
+    """Expand each token, splitting multi-word expansions."""
+    expanded: list[str] = []
+    for token in tokens:
+        expanded.extend(expand_token(token).split())
+    return expanded
+
+
+def expand_identifier(name: str) -> str:
+    """Tokenise an identifier and expand its abbreviations.
+
+    >>> expand_identifier("cust_addr_ln")
+    'customer address last name'
+    """
+    return " ".join(expand_tokens(split_identifier(name)))
+
+
+def abbreviate_word(word: str) -> str:
+    """Abbreviate a word if a single-word abbreviation exists, else return it."""
+    return _REVERSE.get(word.lower(), word)
+
+
+def is_abbreviation(token: str) -> bool:
+    return token.lower() in ABBREVIATIONS

@@ -1,0 +1,158 @@
+"""Synthetic domain-corpus generation for offline pre-training.
+
+The original LSM uses BERT pre-trained on Toronto Books + Wikipedia and
+FastText embeddings pre-trained on web text.  Offline we must *create* the
+corpus those models would have distilled their domain knowledge from.  The
+corpus generator assembles token sentences from four sources:
+
+1. **Schema text** -- attribute/entity names (tokenised) and descriptions of
+   any provided schemata (typically the ISS, which the paper says is known in
+   advance and well documented, enabling per-vertical pre-training).
+2. **PK/FK sentences** -- joined names of related attributes, mirroring the
+   paper's PK/FK-linking pre-training samples.
+3. **Synonym co-occurrence sentences** -- pairs/groups from the
+   :class:`~repro.text.lexicon.SynonymLexicon` embedded in templated carrier
+   sentences.  Distributional training on these is what lets the from-scratch
+   models place *discount* near *price change percentage*, standing in for
+   the web-scale corpora the real models saw.
+4. **Abbreviation sentences** -- each abbreviation next to its expansion, so
+   subword models align ``qty`` with ``quantity``.
+
+Sentences are lists of lower-case word tokens.  Generation is deterministic
+given the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..schema.model import Schema
+from .abbrev import ABBREVIATIONS, expand_tokens
+from .lexicon import SynonymLexicon, default_lexicon
+from .tokenize import split_identifier, words
+
+#: Carrier templates for synonym sentences.  ``A`` / ``B`` are replaced by the
+#: two phrases.  Varying the frame gives the models non-degenerate contexts.
+_SYNONYM_TEMPLATES: list[list[str]] = [
+    ["A", "B"],
+    ["B", "A"],
+    ["A", "or", "B"],
+    ["A", "means", "B"],
+    ["the", "A", "is", "the", "B"],
+    ["A", "also", "called", "B"],
+]
+
+_ABBREV_TEMPLATES: list[list[str]] = [
+    ["A", "stands", "for", "B"],
+    ["A", "is", "short", "for", "B"],
+    ["the", "A", "column", "contains", "the", "B"],
+]
+
+
+def _fill(template: Sequence[str], phrase_a: str, phrase_b: str) -> list[str]:
+    sentence: list[str] = []
+    for token in template:
+        if token == "A":
+            sentence.extend(phrase_a.split())
+        elif token == "B":
+            sentence.extend(phrase_b.split())
+        else:
+            sentence.append(token)
+    return sentence
+
+
+def schema_sentences(schema: Schema) -> list[list[str]]:
+    """Sentences derived from a schema's names, descriptions and PK/FKs."""
+    sentences: list[list[str]] = []
+    for entity in schema.entities:
+        entity_tokens = split_identifier(entity.name)
+        if entity.description:
+            sentences.append(entity_tokens + words(entity.description))
+        for attribute in entity.attributes:
+            attribute_tokens = split_identifier(attribute.name)
+            sentence = entity_tokens + attribute_tokens
+            if attribute.description:
+                sentence = sentence + words(attribute.description)
+            sentences.append(sentence)
+            # Expanded form teaches the alignment of abbreviations in situ.
+            expanded = expand_tokens(attribute_tokens)
+            if expanded != attribute_tokens:
+                sentences.append(entity_tokens + expanded)
+    for relationship in schema.relationships:
+        child_tokens = split_identifier(relationship.child.entity) + split_identifier(
+            relationship.child.attribute
+        )
+        parent_tokens = split_identifier(relationship.parent.entity) + split_identifier(
+            relationship.parent.attribute
+        )
+        sentences.append(child_tokens + ["references"] + parent_tokens)
+    return sentences
+
+
+def lexicon_sentences(
+    lexicon: SynonymLexicon,
+    rng: np.random.Generator,
+    repeats: int = 6,
+) -> list[list[str]]:
+    """Synonym co-occurrence sentences, ``repeats`` templated frames per pair."""
+    sentences: list[list[str]] = []
+    for phrase_a, phrase_b in lexicon.iter_synonym_pairs():
+        indices = rng.choice(len(_SYNONYM_TEMPLATES), size=repeats, replace=True)
+        for index in indices:
+            sentences.append(_fill(_SYNONYM_TEMPLATES[int(index)], phrase_a, phrase_b))
+    return sentences
+
+
+def abbreviation_sentences(rng: np.random.Generator, repeats: int = 2) -> list[list[str]]:
+    """Sentences aligning each abbreviation with its expansion."""
+    sentences: list[list[str]] = []
+    for abbreviation, expansion in sorted(ABBREVIATIONS.items()):
+        indices = rng.choice(len(_ABBREV_TEMPLATES), size=repeats, replace=True)
+        for index in indices:
+            sentences.append(_fill(_ABBREV_TEMPLATES[int(index)], abbreviation, expansion))
+    return sentences
+
+
+def build_corpus(
+    schemata: Iterable[Schema] = (),
+    lexicon: SynonymLexicon | None = None,
+    seed: int = 0,
+    synonym_repeats: int = 6,
+    abbreviation_repeats: int = 3,
+    shuffle: bool = True,
+) -> list[list[str]]:
+    """Assemble the full pre-training corpus.
+
+    Parameters
+    ----------
+    schemata:
+        Schemata whose text feeds the corpus (typically just the ISS; the
+        customer schema is *not* required, keeping pre-training per-vertical
+        as in the paper).
+    lexicon:
+        Synonym lexicon; defaults to the built-in domain lexicon.
+    seed:
+        Seed for template choice and the final shuffle.
+    """
+    rng = np.random.default_rng(seed)
+    lexicon = lexicon if lexicon is not None else default_lexicon()
+    corpus: list[list[str]] = []
+    for schema in schemata:
+        corpus.extend(schema_sentences(schema))
+    corpus.extend(lexicon_sentences(lexicon, rng, repeats=synonym_repeats))
+    corpus.extend(abbreviation_sentences(rng, repeats=abbreviation_repeats))
+    corpus = [sentence for sentence in corpus if sentence]
+    if shuffle:
+        order = rng.permutation(len(corpus))
+        corpus = [corpus[int(i)] for i in order]
+    return corpus
+
+
+def corpus_vocabulary(corpus: Iterable[Sequence[str]]) -> set[str]:
+    """The set of word types in a corpus."""
+    vocab: set[str] = set()
+    for sentence in corpus:
+        vocab.update(sentence)
+    return vocab

@@ -1,0 +1,72 @@
+"""Identifier tokenisation for schema element names.
+
+Schema names arrive in many conventions -- ``snake_case``, ``camelCase``,
+``PascalCase``, ``SCREAMING_SNAKE``, digit-suffixed, dotted -- and every
+linguistic matcher in this repository (LSM featurizers and all six baselines)
+first splits names into word tokens.  The splitter here handles:
+
+* underscore / hyphen / whitespace / dot separators,
+* lower-to-upper camel boundaries (``orderDate`` -> ``order date``),
+* acronym-to-word boundaries (``EANCode`` -> ``ean code``),
+* letter/digit boundaries (``address2`` -> ``address 2``).
+"""
+
+from __future__ import annotations
+
+import re
+
+_CAMEL_BOUNDARY = re.compile(
+    r"""
+    (?<=[a-z0-9])(?=[A-Z])        # fooBar      -> foo|Bar
+    | (?<=[A-Z])(?=[A-Z][a-z])    # EANCode     -> EAN|Code
+    | (?<=[A-Za-z])(?=[0-9])      # address2    -> address|2
+    | (?<=[0-9])(?=[A-Za-z])      # 2ndLine     -> 2|ndLine
+    """,
+    re.VERBOSE,
+)
+_SEPARATORS = re.compile(r"[_\-\s.:/]+")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def split_identifier(name: str) -> list[str]:
+    """Split an identifier into lower-cased word tokens.
+
+    >>> split_identifier("product_item_price_amount")
+    ['product', 'item', 'price', 'amount']
+    >>> split_identifier("TotalOrderLineAmount")
+    ['total', 'order', 'line', 'amount']
+    >>> split_identifier("EAN")
+    ['ean']
+    """
+    tokens: list[str] = []
+    for chunk in _SEPARATORS.split(name):
+        if not chunk:
+            continue
+        chunk = _NON_ALNUM.sub("", chunk)
+        if not chunk:
+            continue
+        for piece in _CAMEL_BOUNDARY.split(chunk):
+            if piece:
+                tokens.append(piece.lower())
+    return tokens
+
+
+def normalize_identifier(name: str) -> str:
+    """Canonical space-joined lower-case form of an identifier."""
+    return " ".join(split_identifier(name))
+
+
+_WORD = re.compile(r"[0-9a-zA-Z]+")
+
+
+def words(text: str) -> list[str]:
+    """Tokenise free text (e.g. attribute descriptions) into lower-case words."""
+    return [match.group(0).lower() for match in _WORD.finditer(text)]
+
+
+def name_and_description_tokens(name: str, description: str = "") -> list[str]:
+    """Tokens of an attribute: identifier words followed by description words."""
+    tokens = split_identifier(name)
+    if description:
+        tokens.extend(words(description))
+    return tokens

@@ -1,0 +1,60 @@
+"""Tests for the interactive baseline session wrapper."""
+
+import pytest
+
+from repro.baselines import ComaMatcher, InteractiveBaselineSession
+from repro.core import GroundTruthOracle
+
+
+@pytest.fixture()
+def session_parts(source_schema, target_schema, ground_truth):
+    matrix = ComaMatcher().score_matrix(source_schema, target_schema)
+    oracle = GroundTruthOracle(ground_truth, target_schema)
+    return matrix, oracle
+
+
+class TestInteractiveBaseline:
+    def test_completes_full_schema(self, session_parts, source_schema):
+        matrix, oracle = session_parts
+        session = InteractiveBaselineSession(matrix, source_schema, oracle)
+        result = session.run()
+        assert result.completed
+        assert result.records[-1].matched_total == source_schema.num_attributes
+
+    def test_all_matches_correct_with_clean_oracle(self, session_parts, source_schema, ground_truth):
+        matrix, oracle = session_parts
+        session = InteractiveBaselineSession(matrix, source_schema, oracle)
+        result = session.run()
+        assert result.result.accuracy_against(ground_truth) == pytest.approx(1.0)
+
+    def test_curve_shape(self, session_parts, source_schema):
+        matrix, oracle = session_parts
+        result = InteractiveBaselineSession(matrix, source_schema, oracle).run()
+        xs, ys = result.curve()
+        assert xs == sorted(xs)
+        assert ys[-1] == pytest.approx(100.0)
+
+    def test_random_strategy(self, session_parts, source_schema):
+        matrix, oracle = session_parts
+        result = InteractiveBaselineSession(
+            matrix, source_schema, oracle, selection_strategy="random"
+        ).run()
+        assert result.completed
+
+    def test_confirmed_target_not_resuggested(self, session_parts, source_schema):
+        matrix, oracle = session_parts
+        session = InteractiveBaselineSession(matrix, source_schema, oracle)
+        source = session.source_refs[0]
+        target = oracle.label(source)
+        session._confirm(source, target)
+        for other in session.source_refs[1:]:
+            assert target not in session._suggestions(other)
+
+    def test_rejection_removes_candidates(self, session_parts, source_schema):
+        matrix, oracle = session_parts
+        session = InteractiveBaselineSession(matrix, source_schema, oracle)
+        source = session.source_refs[0]
+        shown = session._suggestions(source)
+        session._reject(source, shown)
+        new = session._suggestions(source)
+        assert not (set(shown) & set(new))

@@ -1,0 +1,130 @@
+"""Tests for the candidate-pair store."""
+
+import numpy as np
+import pytest
+
+from repro.core import NEGATIVE, POSITIVE, UNLABELED, CandidateStore
+from repro.schema import AttributeRef
+
+
+@pytest.fixture()
+def store(source_schema, target_schema):
+    return CandidateStore(source_schema, target_schema)
+
+
+class TestPreparation:
+    def test_cartesian_product(self, store, source_schema, target_schema):
+        assert store.num_pairs == source_schema.num_attributes * target_schema.num_attributes
+        assert store.num_sources == source_schema.num_attributes
+        assert store.num_targets == target_schema.num_attributes
+
+    def test_all_labels_start_unlabeled(self, store):
+        assert (store.labels == UNLABELED).all()
+
+    def test_pair_lookup(self, store):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Transaction", "quantity")
+        pair_id = store.pair_id(source, target)
+        assert pair_id is not None
+        view = store.view(pair_id)
+        assert view.source_ref == source
+        assert view.target_ref == target
+
+    def test_pairs_of_source(self, store, target_schema):
+        pairs = store.pairs_of_source(AttributeRef("Orders", "qty"))
+        assert pairs.size == target_schema.num_attributes
+
+
+class TestLabels:
+    def test_set_positive_marks_others_negative(self, store):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Transaction", "quantity")
+        store.set_positive(source, target)
+        pair_ids = store.pairs_of_source(source)
+        labels = store.labels[pair_ids]
+        assert (labels == POSITIVE).sum() == 1
+        assert (labels == NEGATIVE).sum() == pair_ids.size - 1
+        assert store.matched_target_of(source) == target
+
+    def test_set_negative(self, store):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Transaction", "tax_amount")
+        store.set_negative(source, target)
+        assert store.labels[store.pair_id(source, target)] == NEGATIVE
+
+    def test_set_negative_never_overrides_positive(self, store):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Transaction", "quantity")
+        store.set_positive(source, target)
+        store.set_negative(source, target)
+        assert store.labels[store.pair_id(source, target)] == POSITIVE
+
+    def test_repositioning_a_match(self, store):
+        source = AttributeRef("Orders", "qty")
+        store.set_positive(source, AttributeRef("Transaction", "quantity"))
+        store.set_positive(source, AttributeRef("Transaction", "tax_amount"))
+        assert store.matched_target_of(source) == AttributeRef("Transaction", "tax_amount")
+        assert len(store.matched_sources()) == 1
+
+    def test_matched_and_unmatched_partition(self, store, source_schema):
+        source = AttributeRef("Orders", "qty")
+        store.set_positive(source, AttributeRef("Transaction", "quantity"))
+        matched = store.matched_sources()
+        unmatched = store.unmatched_sources()
+        assert matched == [source]
+        assert len(unmatched) == source_schema.num_attributes - 1
+        assert source not in unmatched
+
+    def test_matched_target_entities(self, store):
+        store.set_positive(
+            AttributeRef("Orders", "qty"), AttributeRef("Transaction", "quantity")
+        )
+        assert store.matched_target_entities() == {"Transaction"}
+
+
+class TestPruning:
+    def test_prune_keeps_top_per_source(self, store, rng):
+        scores = rng.random(store.num_pairs)
+        store.prune(3, scores)
+        for source_index in range(store.num_sources):
+            assert (store.pair_source == source_index).sum() == 3
+
+    def test_prune_retains_labeled_pairs(self, store, rng):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Transaction", "quantity")
+        pair_id = store.pair_id(source, target)
+        scores = np.zeros(store.num_pairs)
+        scores[pair_id] = -1.0  # worst score: would be pruned if unlabeled
+        store.set_positive(source, target)
+        store.prune(2, scores)
+        assert store.pair_id(source, target) is not None
+        assert store.matched_target_of(source) == target
+
+    def test_prune_noop_when_keep_exceeds_targets(self, store, rng):
+        before = store.num_pairs
+        store.prune(10_000, rng.random(store.num_pairs))
+        assert store.num_pairs == before
+
+    def test_prune_score_shape_validated(self, store):
+        with pytest.raises(ValueError):
+            store.prune(3, np.zeros(3))
+
+    def test_ensure_pair_restores_pruned_pair(self, store, rng):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Brand", "brand_name")
+        scores = rng.random(store.num_pairs)
+        scores[store.pair_id(source, target)] = -10.0
+        store.prune(2, scores)
+        assert store.pair_id(source, target) is None
+        pair_id = store.ensure_pair(source, target)
+        assert store.pair_id(source, target) == pair_id
+        assert store.labels[pair_id] == UNLABELED
+
+    def test_set_positive_after_pruning(self, store, rng):
+        source = AttributeRef("Orders", "qty")
+        target = AttributeRef("Brand", "brand_name")
+        scores = rng.random(store.num_pairs)
+        scores[store.pair_id(source, target)] = -10.0
+        store.prune(2, scores)
+        store.set_positive(source, target)  # must not raise
+        assert store.matched_target_of(source) == target

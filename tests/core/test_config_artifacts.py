@@ -1,0 +1,90 @@
+"""Tests for LsmConfig validation and artefact building/caching."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArtifactConfig, LsmConfig, build_artifacts
+from repro.core.artifacts import initialize_token_embeddings
+from repro.embeddings.ppmi import PpmiConfig
+
+
+class TestLsmConfig:
+    def test_defaults_match_paper(self):
+        config = LsmConfig()
+        assert config.top_k == 3
+        assert config.labels_per_iteration == 1
+        assert config.selection_strategy == "least_confident_anchor"
+        assert config.apply_dtype_filter and config.apply_entity_penalty
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"top_k": 0},
+            {"labels_per_iteration": 0},
+            {"selection_strategy": "nope"},
+            {"use_bert": False, "use_embedding": False, "use_lexical": False},
+            {"self_training_threshold": 0.4},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LsmConfig(**kwargs)
+
+
+class TestArtifacts:
+    def test_build_without_cache(self, target_schema):
+        config = ArtifactConfig(
+            vocab_size=300,
+            hidden_size=16,
+            num_layers=1,
+            num_heads=2,
+            intermediate_size=32,
+            mlm_epochs=1,
+            ppmi=PpmiConfig(dim=16),
+        )
+        artifacts = build_artifacts(target_schema, config=config, use_cache=False)
+        assert len(artifacts.tokenizer.vocab) > 10
+        assert artifacts.bert.config.hidden_size == 16
+        assert artifacts.embeddings.dim == 16
+        assert artifacts.corpus
+
+    def test_cache_round_trip(self, target_schema, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = ArtifactConfig(
+            vocab_size=300,
+            hidden_size=16,
+            num_layers=1,
+            num_heads=2,
+            intermediate_size=32,
+            mlm_epochs=1,
+            ppmi=PpmiConfig(dim=16),
+        )
+        first = build_artifacts(target_schema, config=config, use_cache=True)
+        second = build_artifacts(target_schema, config=config, use_cache=True)
+        assert first.cache_key == second.cache_key
+        assert np.allclose(
+            first.bert.token_embedding.table.value,
+            second.bert.token_embedding.table.value,
+        )
+        assert np.allclose(first.embeddings.input_table, second.embeddings.input_table)
+
+    def test_unknown_embedding_method_rejected(self, target_schema):
+        config = ArtifactConfig(embedding_method="bogus")
+        with pytest.raises(ValueError):
+            config.train_embeddings([["a", "b"]])
+
+    def test_token_embedding_seeding(self, tiny_artifacts):
+        from repro.lm import BertConfig, MiniBert
+
+        vocab = tiny_artifacts.tokenizer.vocab
+        model = MiniBert(
+            BertConfig(vocab_size=len(vocab), hidden_size=32, num_layers=1, num_heads=2,
+                       intermediate_size=32, max_position=32),
+            seed=9,
+        )
+        seeded = initialize_token_embeddings(model, vocab, tiny_artifacts.embeddings)
+        assert seeded > len(vocab) * 0.5
+        # Seeded rows have the canonical norm.
+        norms = np.linalg.norm(model.token_embedding.table.value, axis=1)
+        non_special = norms[5:]
+        assert np.isclose(non_special[non_special > 0.05], 0.16, atol=0.02).mean() > 0.9

@@ -1,0 +1,102 @@
+"""Tests for the simulated user (ground-truth oracle, optionally noisy)."""
+
+import pytest
+
+from repro.core import GroundTruthOracle
+from repro.schema import AttributeRef
+
+
+class TestCleanOracle:
+    def test_label_returns_truth(self, ground_truth, target_schema):
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        source = AttributeRef("Orders", "qty")
+        assert oracle.label(source) == ground_truth[source]
+
+    def test_label_unknown_source_raises(self, ground_truth, target_schema):
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        with pytest.raises(KeyError):
+            oracle.label(AttributeRef("Nope", "nope"))
+
+    def test_review_picks_correct_suggestion(self, ground_truth, target_schema):
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        source = AttributeRef("Orders", "qty")
+        truth = ground_truth[source]
+        wrong = AttributeRef("Transaction", "tax_amount")
+        assert oracle.review(source, [wrong, truth]) == truth
+        assert oracle.review(source, [wrong]) is None
+
+    def test_is_correct_checks_true_truth(self, ground_truth, target_schema):
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        source = AttributeRef("Orders", "qty")
+        assert oracle.is_correct(source, ground_truth[source])
+        assert not oracle.is_correct(source, AttributeRef("Brand", "brand_id"))
+
+    def test_zero_noise_has_no_corruption(self, ground_truth, target_schema):
+        oracle = GroundTruthOracle(ground_truth, target_schema, noise_rate=0.0)
+        assert oracle.num_corrupted() == 0
+
+
+class TestNoisyOracle:
+    def test_requires_embeddings(self, ground_truth, target_schema):
+        with pytest.raises(ValueError):
+            GroundTruthOracle(ground_truth, target_schema, noise_rate=0.2)
+
+    def test_invalid_rate(self, ground_truth, target_schema, tiny_artifacts):
+        with pytest.raises(ValueError):
+            GroundTruthOracle(
+                ground_truth,
+                target_schema,
+                noise_rate=1.5,
+                embeddings=tiny_artifacts.embeddings,
+            )
+
+    def test_corruption_rate_roughly_matches(self, ground_truth, target_schema, tiny_artifacts):
+        total_corrupted = 0
+        for seed in range(20):
+            oracle = GroundTruthOracle(
+                ground_truth,
+                target_schema,
+                noise_rate=0.3,
+                embeddings=tiny_artifacts.embeddings,
+                seed=seed,
+            )
+            total_corrupted += oracle.num_corrupted()
+        rate = total_corrupted / (20 * len(ground_truth))
+        assert 0.15 < rate < 0.45
+
+    def test_corruption_never_equals_truth(self, ground_truth, target_schema, tiny_artifacts):
+        oracle = GroundTruthOracle(
+            ground_truth,
+            target_schema,
+            noise_rate=0.9,
+            embeddings=tiny_artifacts.embeddings,
+            seed=1,
+        )
+        for source, believed in oracle.belief.items():
+            if believed != oracle.truth[source]:
+                assert target_schema.has_attribute(believed)
+
+    def test_belief_consistency_between_review_and_label(
+        self, ground_truth, target_schema, tiny_artifacts
+    ):
+        oracle = GroundTruthOracle(
+            ground_truth,
+            target_schema,
+            noise_rate=0.9,
+            embeddings=tiny_artifacts.embeddings,
+            seed=2,
+        )
+        for source in ground_truth:
+            believed = oracle.label(source)
+            # The same (possibly wrong) belief drives reviewing.
+            assert oracle.review(source, [believed]) == believed
+
+    def test_deterministic_per_seed(self, ground_truth, target_schema, tiny_artifacts):
+        make = lambda: GroundTruthOracle(
+            ground_truth,
+            target_schema,
+            noise_rate=0.5,
+            embeddings=tiny_artifacts.embeddings,
+            seed=7,
+        )
+        assert make().belief == make().belief

@@ -1,0 +1,93 @@
+"""Tests for the dtype filter and new-entity penalty."""
+
+import numpy as np
+import pytest
+
+from repro.core import CandidateStore, ScoreAdjuster, entity_penalty
+from repro.schema import AttributeRef
+
+
+@pytest.fixture()
+def store(source_schema, target_schema):
+    return CandidateStore(source_schema, target_schema)
+
+
+class TestEntityPenaltyFormula:
+    def test_zero_distance_no_penalty(self):
+        assert entity_penalty(0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        values = [entity_penalty(d) for d in range(6)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_paper_formula(self):
+        assert entity_penalty(1) == pytest.approx(1.0 / (1.0 + np.log(2.0)))
+
+
+class TestDtypeFilter:
+    def test_incompatible_pairs_zeroed(self, store, target_schema):
+        adjuster = ScoreAdjuster(store, target_schema, apply_entity_penalty=False)
+        scores = np.ones(store.num_pairs)
+        adjusted = adjuster.adjust(scores)
+        # qty (decimal) vs product_name (string) must be zeroed.
+        pair_id = store.pair_id(
+            AttributeRef("Orders", "qty"), AttributeRef("Product", "product_name")
+        )
+        assert adjusted[pair_id] == 0.0
+        # qty vs quantity (decimal) survives.
+        pair_id = store.pair_id(
+            AttributeRef("Orders", "qty"), AttributeRef("Transaction", "quantity")
+        )
+        assert adjusted[pair_id] == 1.0
+
+    def test_filter_can_be_disabled(self, store, target_schema):
+        adjuster = ScoreAdjuster(
+            store, target_schema, apply_dtype_filter=False, apply_entity_penalty=False
+        )
+        adjusted = adjuster.adjust(np.ones(store.num_pairs))
+        assert (adjusted == 1.0).all()
+
+    def test_input_not_mutated(self, store, target_schema):
+        adjuster = ScoreAdjuster(store, target_schema)
+        scores = np.ones(store.num_pairs)
+        adjuster.adjust(scores)
+        assert (scores == 1.0).all()
+
+    def test_mask_recomputed_after_ensure_pair(self, store, target_schema, rng):
+        adjuster = ScoreAdjuster(store, target_schema, apply_entity_penalty=False)
+        adjuster.adjust(np.ones(store.num_pairs))
+        store.prune(2, rng.random(store.num_pairs))
+        store.ensure_pair(
+            AttributeRef("Orders", "qty"), AttributeRef("Brand", "brand_name")
+        )
+        adjusted = adjuster.adjust(np.ones(store.num_pairs))
+        assert adjusted.shape[0] == store.num_pairs
+
+
+class TestEntityPenalty:
+    def test_no_penalty_without_matches(self, store, target_schema):
+        adjuster = ScoreAdjuster(store, target_schema, apply_dtype_filter=False)
+        adjusted = adjuster.adjust(np.ones(store.num_pairs))
+        assert (adjusted == 1.0).all()
+
+    def test_unmatched_entities_penalised_by_distance(self, store, target_schema):
+        adjuster = ScoreAdjuster(store, target_schema, apply_dtype_filter=False)
+        store.set_positive(
+            AttributeRef("Orders", "qty"), AttributeRef("Transaction", "quantity")
+        )
+        adjusted = adjuster.adjust(np.ones(store.num_pairs))
+        # Transaction is matched: factor 1.  Product at distance 1, Brand 2.
+        in_matched = store.pair_id(
+            AttributeRef("Orders", "disc"),
+            AttributeRef("Transaction", "price_change_percentage"),
+        )
+        one_hop = store.pair_id(
+            AttributeRef("Orders", "disc"), AttributeRef("Product", "product_id")
+        )
+        two_hops = store.pair_id(
+            AttributeRef("Orders", "disc"), AttributeRef("Brand", "brand_id")
+        )
+        assert adjusted[in_matched] == pytest.approx(1.0)
+        assert adjusted[one_hop] == pytest.approx(entity_penalty(1))
+        assert adjusted[two_hops] == pytest.approx(entity_penalty(2))
+        assert adjusted[in_matched] > adjusted[one_hop] > adjusted[two_hops]

@@ -1,0 +1,89 @@
+"""Tests for the active-learning attribute-selection strategies."""
+
+import pytest
+
+from repro.core import LeastConfidentAnchorSelection, RandomSelection, make_strategy
+from repro.schema import AttributeRef
+
+
+def refs(*names):
+    return [AttributeRef.parse(name) for name in names]
+
+
+class TestLeastConfidentAnchor:
+    def test_default_anchor_set_is_keys(self, source_schema):
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        assert AttributeRef("Orders", "order_id") in strategy.anchors
+        assert AttributeRef("Orders", "item_id") in strategy.anchors
+        assert AttributeRef("Item", "item_id") in strategy.anchors
+
+    def test_first_call_takes_anchor_head(self, source_schema):
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        unlabeled = source_schema.attribute_refs()
+        chosen = strategy.select(unlabeled, {}, 1)
+        assert chosen == [strategy.anchors[0]]
+
+    def test_least_confident_anchor_after_first(self, source_schema):
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        unlabeled = source_schema.attribute_refs()
+        strategy.select(unlabeled, {}, 1)  # burn the first-iteration rule
+        confidences = {ref: 0.9 for ref in unlabeled}
+        least = strategy.anchors[1]
+        confidences[least] = 0.01
+        chosen = strategy.select(unlabeled, confidences, 1)
+        assert chosen == [least]
+
+    def test_falls_back_to_non_anchors_when_exhausted(self, source_schema):
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        non_anchors = [
+            ref
+            for ref in source_schema.attribute_refs()
+            if ref not in set(strategy.anchors)
+        ]
+        confidences = {ref: 0.5 for ref in non_anchors}
+        confidences[non_anchors[2]] = 0.0
+        chosen = strategy.select(non_anchors, confidences, 1)
+        assert chosen == [non_anchors[2]]
+
+    def test_user_provided_anchor_set(self, source_schema):
+        custom = refs("Orders.qty")
+        strategy = LeastConfidentAnchorSelection(source_schema, anchor_set=custom)
+        chosen = strategy.select(source_schema.attribute_refs(), {}, 1)
+        assert chosen == custom
+
+    def test_empty_unlabeled(self, source_schema):
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        assert strategy.select([], {}, 1) == []
+
+    def test_n_greater_than_one(self, source_schema):
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        chosen = strategy.select(source_schema.attribute_refs(), {}, 2)
+        assert len(chosen) == 2
+
+
+class TestRandomSelection:
+    def test_deterministic_per_seed(self, source_schema):
+        unlabeled = source_schema.attribute_refs()
+        a = RandomSelection(seed=5).select(unlabeled, {}, 3)
+        b = RandomSelection(seed=5).select(unlabeled, {}, 3)
+        assert a == b
+
+    def test_no_duplicates(self, source_schema):
+        unlabeled = source_schema.attribute_refs()
+        chosen = RandomSelection(seed=0).select(unlabeled, {}, 5)
+        assert len(chosen) == len(set(chosen)) == 5
+
+    def test_n_capped_at_pool(self, source_schema):
+        unlabeled = source_schema.attribute_refs()[:2]
+        assert len(RandomSelection(seed=0).select(unlabeled, {}, 10)) == 2
+
+
+class TestFactory:
+    def test_factory_names(self, source_schema):
+        assert isinstance(
+            make_strategy("least_confident_anchor", source_schema),
+            LeastConfidentAnchorSelection,
+        )
+        assert isinstance(make_strategy("random", source_schema), RandomSelection)
+        with pytest.raises(ValueError):
+            make_strategy("bogus", source_schema)

@@ -1,0 +1,87 @@
+"""Tests for the name-corruption machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CorruptionMix, NameCorruptor, apply_style
+from repro.text import default_lexicon, split_identifier
+
+
+@pytest.fixture()
+def corruptor(rng):
+    return NameCorruptor(default_lexicon(), rng, style="snake")
+
+
+class TestApplyStyle:
+    def test_styles(self):
+        tokens = ["order", "line", "total"]
+        assert apply_style(tokens, "snake") == "order_line_total"
+        assert apply_style(tokens, "camel") == "orderLineTotal"
+        assert apply_style(tokens, "pascal") == "OrderLineTotal"
+        assert apply_style(tokens, "compact") == "orderlinetotal"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            apply_style(["a"], "nope")
+        with pytest.raises(ValueError):
+            apply_style([], "snake")
+
+
+class TestCorruptionMix:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            CorruptionMix(synonym=0.6, abbreviate=0.5, drop=0.2)
+
+
+class TestNameCorruptor:
+    def test_synonym_rename_produces_lexicon_synonym(self, rng):
+        corruptor = NameCorruptor(
+            default_lexicon(), rng, mix=CorruptionMix(1.0, 0.0, 0.0, compound=0.0)
+        )
+        corrupted, kind = corruptor.corrupt("price_change_percentage")
+        assert kind == "synonym"
+        # The corrupted name is a synonym phrase of the original (or contains
+        # a synonym replacement of a sub-phrase).
+        assert corrupted != "price_change_percentage"
+
+    def test_abbreviation(self, rng):
+        corruptor = NameCorruptor(
+            default_lexicon(), rng, mix=CorruptionMix(0.0, 1.0, 0.0, compound=0.0)
+        )
+        corrupted, kind = corruptor.corrupt("european_article_number")
+        assert corrupted == "ean"
+        assert kind == "abbreviate"
+
+    def test_transform_log_and_share(self, rng):
+        corruptor = NameCorruptor(
+            default_lexicon(), rng, mix=CorruptionMix(1.0, 0.0, 0.0, compound=0.0)
+        )
+        for __ in range(5):
+            corruptor.corrupt("discount_percentage")
+        assert len(corruptor.transform_log) == 5
+        assert corruptor.transform_share("synonym") == 1.0
+
+    def test_unique_retries_on_collision(self, rng):
+        corruptor = NameCorruptor(
+            default_lexicon(), rng, mix=CorruptionMix(0.0, 0.0, 0.0, compound=0.0)
+        )
+        taken: set[str] = set()
+        names = []
+        for __ in range(6):
+            name, __kind = corruptor.corrupt_unique("status_code", taken)
+            assert name.lower() not in taken
+            taken.add(name.lower())
+            names.append(name)
+        assert len(set(names)) == 6
+
+    def test_corruption_is_tokenizable(self, corruptor):
+        for name in ("transaction_total_amount", "store_open_date", "quantity"):
+            corrupted, _ = corruptor.corrupt(name)
+            assert split_identifier(corrupted)
+
+    def test_deterministic_per_seed(self):
+        lexicon = default_lexicon()
+        a = NameCorruptor(lexicon, np.random.default_rng(4))
+        b = NameCorruptor(lexicon, np.random.default_rng(4))
+        for name in ("price_change_percentage", "unit_of_measure_code"):
+            assert a.corrupt(name) == b.corrupt(name)

@@ -1,0 +1,167 @@
+"""Tests for the dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CUSTOMER_SPECS,
+    ISS_NUM_ATTRIBUTES,
+    ISS_NUM_ENTITIES,
+    ISS_NUM_RELATIONSHIPS,
+    build_ipfqr,
+    build_movielens_imdb,
+    build_rdb_star,
+    build_retail_iss,
+    generate_customer,
+    load_dataset,
+    retail_iss,
+)
+from repro.schema import JoinGraph, validate_dataset
+from repro.schema.validate import validate_correspondence_endpoints
+
+
+@pytest.fixture(scope="module")
+def iss():
+    return retail_iss()
+
+
+class TestRetailIss:
+    def test_exact_paper_statistics(self, iss):
+        assert iss.num_entities == ISS_NUM_ENTITIES == 92
+        assert iss.num_attributes == ISS_NUM_ATTRIBUTES == 1218
+        assert iss.num_relationships == ISS_NUM_RELATIONSHIPS == 184
+
+    def test_fully_documented(self, iss):
+        for __, attribute in iss.iter_attributes():
+            assert attribute.description
+
+    def test_join_graph_connected(self, iss):
+        assert len(JoinGraph(iss).connected_components()) == 1
+
+    def test_paper_example_attributes_present(self, iss):
+        assert iss.has_attribute("TransactionLine.price_change_percentage")
+        assert iss.has_attribute("TransactionLine.product_item_price_amount")
+        assert iss.has_attribute("TransactionLine.quantity")
+        assert iss.has_attribute("Product.european_article_number")
+        assert iss.has_attribute("Promotion.discount_percentage")
+
+    def test_every_entity_has_primary_key(self, iss):
+        for entity in iss.entities:
+            assert entity.primary_key is not None
+
+    def test_deterministic(self):
+        assert (
+            build_retail_iss().stats() == build_retail_iss().stats()
+        )
+
+
+class TestCustomerGenerators:
+    @pytest.mark.parametrize("label", list(CUSTOMER_SPECS))
+    def test_table1_statistics(self, iss, label):
+        spec = CUSTOMER_SPECS[label]
+        dataset = generate_customer(iss, spec)
+        stats = dataset.schema.stats()
+        assert stats["entities"] == spec.num_entities
+        assert stats["attributes"] == spec.num_attributes
+        assert stats["pk_fk"] == spec.num_relationships
+        assert stats["descriptions"] == spec.descriptions
+
+    @pytest.mark.parametrize("label", list(CUSTOMER_SPECS))
+    def test_ground_truth_valid_and_total(self, iss, label):
+        dataset = generate_customer(iss, CUSTOMER_SPECS[label])
+        validate_dataset(dataset.schema, iss, dataset.ground_truth)
+
+    def test_ground_truth_injective(self, iss):
+        dataset = generate_customer(iss, CUSTOMER_SPECS["B"])
+        targets = list(dataset.ground_truth.values())
+        assert len(targets) == len(set(targets))
+
+    def test_hard_match_share(self, iss):
+        """>30% of matches should be synonym renames, as in the paper."""
+        dataset = generate_customer(iss, CUSTOMER_SPECS["E"])
+        assert dataset.synonym_share > 0.3
+
+    def test_deterministic(self, iss):
+        a = generate_customer(iss, CUSTOMER_SPECS["A"])
+        b = generate_customer(iss, CUSTOMER_SPECS["A"])
+        assert a.ground_truth == b.ground_truth
+
+    def test_relationships_map_to_iss_relationships(self, iss):
+        dataset = generate_customer(iss, CUSTOMER_SPECS["B"])
+        truth = dataset.ground_truth
+        iss_relationship_set = {
+            (str(r.child), str(r.parent)) for r in iss.relationships
+        }
+        for relationship in dataset.schema.relationships:
+            mapped_child = truth[relationship.child]
+            mapped_parent = truth[relationship.parent]
+            assert (str(mapped_child), str(mapped_parent)) in iss_relationship_set
+
+
+class TestPublicDatasets:
+    def test_rdb_star_table2_statistics(self):
+        dataset = build_rdb_star()
+        assert dataset.source.stats()["entities"] == 13
+        assert dataset.source.stats()["attributes"] == 65
+        assert dataset.source.stats()["pk_fk"] == 12
+        assert dataset.target.stats()["entities"] == 5
+        assert dataset.target.stats()["attributes"] == 34
+        assert dataset.target.stats()["pk_fk"] == 4
+
+    def test_ipfqr_table2_statistics(self):
+        dataset = build_ipfqr()
+        assert dataset.source.stats() == {
+            "name": "ipfqr_state",
+            "entities": 1,
+            "attributes": 51,
+            "unique_attribute_names": 51,
+            "pk_fk": 0,
+            "descriptions": False,
+        }
+        assert dataset.target.num_attributes == 67
+
+    def test_movielens_table2_statistics(self):
+        dataset = build_movielens_imdb()
+        assert dataset.source.stats()["entities"] == 6
+        assert dataset.source.stats()["attributes"] == 19
+        assert dataset.source.stats()["pk_fk"] == 5
+        assert dataset.target.stats()["entities"] == 7
+        assert dataset.target.stats()["attributes"] == 39
+        assert dataset.target.stats()["pk_fk"] == 6
+
+    @pytest.mark.parametrize("builder", [build_rdb_star, build_ipfqr, build_movielens_imdb])
+    def test_ground_truth_endpoints_exist(self, builder):
+        dataset = builder()
+        validate_correspondence_endpoints(
+            dataset.source, dataset.target, dataset.ground_truth
+        )
+
+    def test_rdb_star_paper_example(self):
+        dataset = build_rdb_star()
+        from repro.schema import AttributeRef
+
+        assert dataset.ground_truth[
+            AttributeRef("Sales", "Discount")
+        ] == AttributeRef("OrderDetails", "Discount")
+
+
+class TestRegistry:
+    def test_load_all_names(self):
+        from repro.datasets import ALL_NAMES
+
+        assert len(ALL_NAMES) == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("bogus")
+        with pytest.raises(KeyError):
+            load_dataset("customer_z")
+
+    def test_customer_task_shares_iss(self):
+        a = load_dataset("customer_a")
+        b = load_dataset("customer_b")
+        assert a.target is b.target
+        assert a.is_customer and not load_dataset("rdb_star").is_customer
+
+    def test_load_is_cached(self):
+        assert load_dataset("customer_a") is load_dataset("customer_a")

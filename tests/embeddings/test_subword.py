@@ -1,0 +1,112 @@
+"""Tests for subword vocabulary and embedding composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import (
+    SubwordEmbeddings,
+    SubwordVocab,
+    character_ngrams_of_word,
+    fnv1a,
+)
+
+
+def tiny_corpus():
+    return [
+        ["quantity", "amount", "number"],
+        ["discount", "markdown", "percentage"],
+        ["order", "identifier"],
+    ] * 2
+
+
+class TestNgrams:
+    def test_boundary_markers(self):
+        grams = character_ngrams_of_word("qty", min_n=3, max_n=3)
+        assert "<qt" in grams
+        assert "ty>" in grams
+
+    def test_short_word_skips_large_n(self):
+        grams = character_ngrams_of_word("ab", min_n=3, max_n=5)
+        # "<ab>" has length 4: one 3-gram window x2, one 4-gram.
+        assert all(len(g) in (3, 4) for g in grams)
+
+    def test_fnv_deterministic(self):
+        assert fnv1a("hello") == fnv1a("hello")
+        assert fnv1a("hello") != fnv1a("hellp")
+
+
+class TestSubwordVocab:
+    def test_word_ids_stable(self):
+        vocab = SubwordVocab(tiny_corpus())
+        assert "quantity" in vocab
+        assert "zzz" not in vocab
+        assert vocab.word_to_id["amount"] < vocab.num_words
+
+    def test_subword_ids_include_word_row(self):
+        vocab = SubwordVocab(tiny_corpus())
+        ids = vocab.subword_ids("quantity")
+        assert ids[0] == vocab.word_to_id["quantity"]
+        assert all(i >= vocab.num_words for i in ids[1:])
+
+    def test_oov_gets_ngram_rows_only(self):
+        vocab = SubwordVocab(tiny_corpus())
+        ids = vocab.subword_ids("unseenword")
+        assert all(vocab.num_words <= i < vocab.padding_row for i in ids)
+
+    def test_min_count_filters(self):
+        corpus = [["rare"], ["common"], ["common"]]
+        vocab = SubwordVocab(corpus, min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_row_layout(self):
+        vocab = SubwordVocab(tiny_corpus(), num_buckets=128)
+        assert vocab.num_rows == vocab.num_words + 128 + 1
+        assert vocab.padding_row == vocab.num_rows - 1
+
+
+class TestSubwordEmbeddings:
+    @pytest.fixture()
+    def embeddings(self, rng):
+        vocab = SubwordVocab(tiny_corpus(), num_buckets=128)
+        table = rng.standard_normal((vocab.num_rows, 8)).astype(np.float32)
+        return SubwordEmbeddings(vocab, table)
+
+    def test_padding_row_zeroed(self, embeddings):
+        assert np.allclose(embeddings.input_table[embeddings.vocab.padding_row], 0.0)
+
+    def test_oov_never_raises(self, embeddings):
+        vector = embeddings.word_vector("totally_new_word")
+        assert vector.shape == (8,)
+
+    def test_phrase_vector_empty(self, embeddings):
+        assert np.allclose(embeddings.phrase_vector([]), 0.0)
+
+    def test_cosine_bounds(self, embeddings):
+        value = embeddings.similarity(["quantity"], ["amount"])
+        assert -1.0 <= value <= 1.0
+
+    def test_cosine_zero_vector(self):
+        assert SubwordEmbeddings.cosine(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_self_similarity_is_one(self, embeddings):
+        assert embeddings.similarity(["quantity"], ["quantity"]) == pytest.approx(1.0, abs=1e-5)
+
+    def test_table_shape_validated(self, rng):
+        vocab = SubwordVocab(tiny_corpus())
+        with pytest.raises(ValueError):
+            SubwordEmbeddings(vocab, rng.standard_normal((3, 8)))
+
+    def test_nearest_words(self, embeddings):
+        nearest = embeddings.nearest_words(["quantity"], k=3)
+        assert len(nearest) == 3
+        assert nearest[0][0] == "quantity"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.from_regex(r"[a-z]{1,15}", fullmatch=True))
+def test_property_subword_ids_deterministic(word):
+    vocab = SubwordVocab(tiny_corpus())
+    assert vocab.subword_ids(word) == vocab.subword_ids(word)

@@ -1,0 +1,136 @@
+"""Tests for the lexical, embedding and pipeline featurizers."""
+
+import numpy as np
+import pytest
+
+from repro.featurizers import (
+    AttributePairView,
+    EmbeddingFeaturizer,
+    FeaturizerPipeline,
+    LexicalFeaturizer,
+    make_pair_view,
+)
+from repro.schema import AttributeRef
+
+
+def view(source_schema, target_schema, source, target, use_descriptions=True):
+    return make_pair_view(
+        source_schema,
+        target_schema,
+        AttributeRef.parse(source),
+        AttributeRef.parse(target),
+        use_descriptions=use_descriptions,
+    )
+
+
+class TestMakePairView:
+    def test_fields(self, source_schema, target_schema):
+        v = view(source_schema, target_schema, "Orders.qty", "Transaction.quantity")
+        assert v.source_name == "qty"
+        assert v.target_name == "quantity"
+        assert v.target_tokens == ("quantity",)
+        assert v.target_description  # tiny target schema has descriptions
+
+    def test_description_ablation(self, source_schema, target_schema):
+        v = view(
+            source_schema,
+            target_schema,
+            "Orders.disc",
+            "Transaction.price_change_percentage",
+            use_descriptions=False,
+        )
+        assert v.source_description == ""
+        assert v.target_description == ""
+
+
+class TestLexicalFeaturizer:
+    def test_abbreviation_scores_one(self, source_schema, target_schema):
+        featurizer = LexicalFeaturizer()
+        v = view(source_schema, target_schema, "Orders.qty", "Transaction.quantity")
+        assert featurizer.score_pairs([v])[0] == pytest.approx(1.0)
+
+    def test_unrelated_scores_low(self, source_schema, target_schema):
+        featurizer = LexicalFeaturizer()
+        v = view(source_schema, target_schema, "Orders.qty", "Brand.brand_name")
+        assert featurizer.score_pairs([v])[0] < 0.5
+
+    def test_separator_insensitive(self, source_schema, target_schema):
+        featurizer = LexicalFeaturizer()
+        a = view(source_schema, target_schema, "Item.brand_name", "Brand.brand_name")
+        assert featurizer.score_pairs([a])[0] == pytest.approx(1.0)
+
+    def test_caching_returns_same_scores(self, source_schema, target_schema):
+        featurizer = LexicalFeaturizer()
+        v = view(source_schema, target_schema, "Orders.qty", "Transaction.quantity")
+        first = featurizer.score_pairs([v])
+        second = featurizer.score_pairs([v])
+        assert np.array_equal(first, second)
+        assert len(featurizer.cache) == 1
+
+    def test_update_is_noop(self, source_schema, target_schema):
+        featurizer = LexicalFeaturizer()
+        v = view(source_schema, target_schema, "Orders.qty", "Transaction.quantity")
+        featurizer.update([v], [1])  # must not raise
+
+
+class TestEmbeddingFeaturizer:
+    def test_scores_in_unit_interval(self, source_schema, target_schema, tiny_artifacts):
+        featurizer = EmbeddingFeaturizer(embeddings=tiny_artifacts.embeddings)
+        views = [
+            view(source_schema, target_schema, "Orders.qty", "Transaction.quantity"),
+            view(source_schema, target_schema, "Orders.qty", "Brand.brand_name"),
+        ]
+        scores = featurizer.score_pairs(views)
+        assert ((0.0 <= scores) & (scores <= 1.0)).all()
+
+    def test_synonym_beats_unrelated(self, source_schema, target_schema, tiny_artifacts):
+        featurizer = EmbeddingFeaturizer(embeddings=tiny_artifacts.embeddings)
+        synonym = view(
+            source_schema,
+            target_schema,
+            "Orders.disc",
+            "Transaction.price_change_percentage",
+            use_descriptions=False,
+        )
+        unrelated = view(
+            source_schema,
+            target_schema,
+            "Orders.disc",
+            "Transaction.transaction_date",
+            use_descriptions=False,
+        )
+        scores = featurizer.score_pairs([synonym, unrelated])
+        assert scores[0] > scores[1]
+
+    def test_requires_embeddings(self):
+        with pytest.raises((ValueError, TypeError)):
+            EmbeddingFeaturizer(embeddings=None)
+
+
+class TestPipeline:
+    def test_feature_matrix_shape(self, source_schema, target_schema, tiny_artifacts):
+        pipeline = FeaturizerPipeline(
+            [
+                LexicalFeaturizer(),
+                EmbeddingFeaturizer(embeddings=tiny_artifacts.embeddings),
+            ]
+        )
+        views = [
+            view(source_schema, target_schema, "Orders.qty", "Transaction.quantity"),
+            view(source_schema, target_schema, "Orders.qty", "Brand.brand_name"),
+        ]
+        matrix = pipeline.featurize(views)
+        assert matrix.shape == (2, 2)
+        assert pipeline.feature_names == ["lexical", "embedding"]
+
+    def test_empty_views(self, tiny_artifacts):
+        pipeline = FeaturizerPipeline([LexicalFeaturizer()])
+        assert pipeline.featurize([]).shape == (0, 1)
+
+    def test_rejects_empty_pipeline(self):
+        with pytest.raises(ValueError):
+            FeaturizerPipeline([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            FeaturizerPipeline([LexicalFeaturizer(), LexicalFeaturizer()])

@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the whole library.
+
+These run the complete LSM pipeline -- corpus, embeddings, MiniBERT,
+featurizers, meta-learner, score adjustments, active learning -- on the tiny
+synthetic task, and spot-check the experiment drivers against a small public
+dataset.  The full-scale experiments live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GroundTruthOracle,
+    LearnedSchemaMatcher,
+    LsmConfig,
+    MatchingSession,
+)
+from repro.baselines import ComaMatcher, InteractiveBaselineSession
+from repro.eval.metrics import area_above_curve, predictions_top_k_accuracy
+from repro.featurizers.bert import BertFeaturizerConfig
+
+
+@pytest.fixture()
+def lsm_config():
+    return LsmConfig(
+        bert=BertFeaturizerConfig(
+            max_length=24, pretrain_epochs=2, update_epochs=1, batch_size=16, seed=0
+        ),
+        seed=0,
+    )
+
+
+class TestFullPipeline:
+    def test_lsm_beats_manual_labeling(
+        self, source_schema, target_schema, tiny_artifacts, ground_truth, lsm_config
+    ):
+        matcher = LearnedSchemaMatcher(
+            source_schema, target_schema, config=lsm_config, artifacts=tiny_artifacts
+        )
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        session = MatchingSession(matcher, oracle).run()
+        assert session.completed
+        # Strictly cheaper than labeling everything by hand.
+        assert session.total_labels < source_schema.num_attributes
+        assert session.result.accuracy_against(ground_truth) == 1.0
+
+    def test_lsm_curve_dominates_baseline_curve(
+        self, source_schema, target_schema, tiny_artifacts, ground_truth, lsm_config
+    ):
+        matcher = LearnedSchemaMatcher(
+            source_schema, target_schema, config=lsm_config, artifacts=tiny_artifacts
+        )
+        lsm_session = MatchingSession(
+            matcher, GroundTruthOracle(ground_truth, target_schema)
+        ).run()
+        baseline_matrix = ComaMatcher().score_matrix(source_schema, target_schema)
+        baseline_session = InteractiveBaselineSession(
+            baseline_matrix,
+            source_schema,
+            GroundTruthOracle(ground_truth, target_schema),
+        ).run()
+        lsm_area = area_above_curve(*lsm_session.curve())
+        baseline_area = area_above_curve(*baseline_session.curve())
+        # Smaller area above curve = less reviewing/labeling effort.  The
+        # tiny task is easy enough that both finish almost immediately; both
+        # must be far cheaper than manual labeling (area 50).
+        manual_area = 50.0
+        assert lsm_area < manual_area / 2
+        assert baseline_area < manual_area / 2
+
+    def test_zero_shot_prediction_quality(
+        self, source_schema, target_schema, tiny_artifacts, ground_truth, lsm_config
+    ):
+        matcher = LearnedSchemaMatcher(
+            source_schema, target_schema, config=lsm_config, artifacts=tiny_artifacts
+        )
+        predictions = matcher.predict()
+        accuracy = predictions_top_k_accuracy(predictions, ground_truth, k=3)
+        # The tiny task has abbreviations and one synonym rename; the
+        # pre-trained featurizers must solve most of it with zero labels.
+        assert accuracy >= 0.6
+
+    def test_noise_ceiling(
+        self, source_schema, target_schema, tiny_artifacts, ground_truth, lsm_config
+    ):
+        """Fig. 8 behaviour: final correctness is bounded by oracle fidelity."""
+        oracle = GroundTruthOracle(
+            ground_truth,
+            target_schema,
+            noise_rate=0.4,
+            embeddings=tiny_artifacts.embeddings,
+            seed=11,
+        )
+        matcher = LearnedSchemaMatcher(
+            source_schema, target_schema, config=lsm_config, artifacts=tiny_artifacts
+        )
+        session = MatchingSession(matcher, oracle).run()
+        corrupted_fraction = oracle.num_corrupted() / len(ground_truth)
+        accuracy = session.result.accuracy_against(ground_truth)
+        assert accuracy <= 1.0 - corrupted_fraction + 1e-9 + 0.25
+        assert accuracy >= 1.0 - corrupted_fraction - 0.25
+
+
+class TestExperimentDrivers:
+    def test_rdb_star_baseline_driver(self):
+        from repro.eval.experiments import run_baseline
+
+        from repro.datasets import load_dataset
+
+        task = load_dataset("rdb_star")
+        result = run_baseline(task, "coma")
+        assert result.top_k_accuracy[3] > 0.9  # near-perfect per Table III
+
+    def test_table_stats_drivers(self):
+        from repro.eval.experiments import table1_customer_stats, table2_public_stats
+
+        rows = table1_customer_stats()
+        assert [row["attributes"] for row in rows] == [29, 53, 84, 136, 530]
+        public_rows = table2_public_stats()
+        assert len(public_rows) == 6

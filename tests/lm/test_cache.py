@@ -1,0 +1,57 @@
+"""Tests for the on-disk artefact cache."""
+
+import numpy as np
+import pytest
+
+from repro.lm import cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    yield tmp_path
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        assert cache.content_key("a", [1, 2], {"x": 1}) == cache.content_key(
+            "a", [1, 2], {"x": 1}
+        )
+
+    def test_sensitive_to_content(self):
+        assert cache.content_key("a") != cache.content_key("b")
+        assert cache.content_key([1, 2]) != cache.content_key([2, 1])
+
+    def test_dict_key_order_irrelevant(self):
+        assert cache.content_key({"a": 1, "b": 2}) == cache.content_key(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestArrayCache:
+    def test_round_trip(self):
+        arrays = {"w": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        cache.save_arrays("test", "key1", arrays)
+        loaded = cache.load_arrays("test", "key1")
+        assert loaded is not None
+        assert np.array_equal(loaded["w"], arrays["w"])
+
+    def test_missing_returns_none(self):
+        assert cache.load_arrays("test", "nope") is None
+
+
+class TestJsonCache:
+    def test_round_trip(self):
+        cache.save_json("test", "key2", {"tokens": ["a", "b"]})
+        assert cache.load_json("test", "key2") == {"tokens": ["a", "b"]}
+
+    def test_missing_returns_none(self):
+        assert cache.load_json("test", "nope") is None
+
+
+def test_clear_cache(isolated_cache):
+    cache.save_json("test", "k", [1])
+    cache.save_arrays("test", "k", {"a": np.zeros(1)})
+    removed = cache.clear_cache()
+    assert removed == 2
+    assert cache.load_json("test", "k") is None

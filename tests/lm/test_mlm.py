@@ -1,0 +1,104 @@
+"""Tests for masked-LM masking and pre-training."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    BertConfig,
+    IGNORE_INDEX,
+    MiniBert,
+    WordPieceTokenizer,
+    build_vocab,
+    mask_tokens,
+    pretrain_mlm,
+    stack_encoded,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = [
+        ["order", "identifier", "number"],
+        ["product", "name", "text"],
+        ["order", "total", "amount"],
+        ["discount", "percentage", "value"],
+    ] * 6
+    vocab = build_vocab(corpus, target_size=120)
+    tokenizer = WordPieceTokenizer(vocab)
+    config = BertConfig(
+        vocab_size=len(vocab),
+        hidden_size=16,
+        num_layers=1,
+        num_heads=2,
+        intermediate_size=32,
+        max_position=16,
+    )
+    return corpus, tokenizer, config
+
+
+class TestMaskTokens:
+    def test_specials_never_masked(self, setup, rng):
+        corpus, tokenizer, _ = setup
+        batch = stack_encoded(
+            [tokenizer.encode_single(list(s), max_length=12) for s in corpus[:8]]
+        )
+        masked, labels = mask_tokens(batch, tokenizer.vocab, rng, mask_probability=1.0)
+        specials = tokenizer.vocab.special_ids() - {tokenizer.vocab.mask_id}
+        original_special = np.isin(batch.input_ids, sorted(specials))
+        assert (labels[original_special] == IGNORE_INDEX).all()
+
+    def test_labels_match_original_ids(self, setup, rng):
+        corpus, tokenizer, _ = setup
+        batch = stack_encoded(
+            [tokenizer.encode_single(list(s), max_length=12) for s in corpus[:8]]
+        )
+        _, labels = mask_tokens(batch, tokenizer.vocab, rng, mask_probability=0.5)
+        selected = labels != IGNORE_INDEX
+        assert (labels[selected] == batch.input_ids[selected]).all()
+
+    def test_original_batch_untouched(self, setup, rng):
+        corpus, tokenizer, _ = setup
+        batch = stack_encoded(
+            [tokenizer.encode_single(list(s), max_length=12) for s in corpus[:4]]
+        )
+        snapshot = batch.input_ids.copy()
+        mask_tokens(batch, tokenizer.vocab, rng, mask_probability=1.0)
+        assert np.array_equal(batch.input_ids, snapshot)
+
+    def test_majority_masked_become_mask_token(self, setup):
+        corpus, tokenizer, _ = setup
+        rng = np.random.default_rng(0)
+        batch = stack_encoded(
+            [tokenizer.encode_single(list(s), max_length=12) for s in corpus]
+        )
+        masked, labels = mask_tokens(batch, tokenizer.vocab, rng, mask_probability=1.0)
+        selected = labels != IGNORE_INDEX
+        mask_fraction = (
+            masked.input_ids[selected] == tokenizer.vocab.mask_id
+        ).mean()
+        assert 0.6 < mask_fraction < 0.95
+
+
+class TestPretrainMlm:
+    def test_loss_decreases(self, setup):
+        corpus, tokenizer, config = setup
+        model = MiniBert(config, seed=0)
+        result = pretrain_mlm(
+            model, tokenizer, corpus, epochs=8, batch_size=8, lr=1e-3, max_length=12
+        )
+        assert result.steps > 0
+        first_quarter = np.mean(result.losses[: max(1, len(result.losses) // 4)])
+        last_quarter = np.mean(result.losses[-max(1, len(result.losses) // 4) :])
+        assert last_quarter < first_quarter
+
+    def test_model_left_in_eval_mode(self, setup):
+        corpus, tokenizer, config = setup
+        model = MiniBert(config, seed=0)
+        pretrain_mlm(model, tokenizer, corpus, epochs=1, max_length=12)
+        assert not model.training
+
+    def test_empty_corpus_rejected(self, setup):
+        _, tokenizer, config = setup
+        model = MiniBert(config, seed=0)
+        with pytest.raises(ValueError):
+            pretrain_mlm(model, tokenizer, [], epochs=1)

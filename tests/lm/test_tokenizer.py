@@ -1,0 +1,101 @@
+"""Tests for WordPiece tokenisation and pair encoding."""
+
+import numpy as np
+import pytest
+
+from repro.lm import WordPieceTokenizer, build_vocab, stack_encoded
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    corpus = [
+        ["order", "identifier", "quantity", "discount"],
+        ["product", "name", "amount", "percentage"],
+    ] * 5
+    return WordPieceTokenizer(build_vocab(corpus, target_size=300))
+
+
+class TestTokenizeWord:
+    def test_known_word_is_single_piece(self, tokenizer):
+        assert tokenizer.tokenize_word("order") == ["order"]
+
+    def test_unknown_word_splits_into_pieces(self, tokenizer):
+        # "ordername" is unseen but built from in-alphabet characters.
+        pieces = tokenizer.tokenize_word("ordername")
+        assert len(pieces) >= 2
+        assert pieces[0] == "order"
+        assert all(piece.startswith("##") for piece in pieces[1:])
+
+    def test_out_of_alphabet_characters_become_unk(self, tokenizer):
+        assert tokenizer.tokenize_word("éé") == ["[UNK]"]
+        # "x" never occurs in the training corpus, so it has no piece.
+        assert tokenizer.tokenize_word("orderx") == ["[UNK]"]
+
+    def test_empty_word(self, tokenizer):
+        assert tokenizer.tokenize_word("") == []
+
+    def test_overlong_word_is_unk(self, tokenizer):
+        assert tokenizer.tokenize_word("a" * 100) == ["[UNK]"]
+
+
+class TestEncodePair:
+    def test_structure(self, tokenizer):
+        encoded = tokenizer.encode_pair(["order"], ["product"], max_length=10)
+        vocab = tokenizer.vocab
+        ids = encoded.input_ids.tolist()
+        assert ids[0] == vocab.cls_id
+        assert ids.count(vocab.sep_id) == 2
+        assert len(ids) == 10
+        assert encoded.segment_ids.tolist()[:3] == [0, 0, 0]
+        assert encoded.attention_mask.sum() == 5  # cls + 2 words + 2 sep
+
+    def test_segments_split_at_first_sep(self, tokenizer):
+        encoded = tokenizer.encode_pair(["order"], ["product"], max_length=10)
+        sep_positions = np.flatnonzero(
+            encoded.input_ids == tokenizer.vocab.sep_id
+        )
+        first_sep = int(sep_positions[0])
+        assert (encoded.segment_ids[: first_sep + 1] == 0).all()
+        second_sep = int(sep_positions[1])
+        assert (encoded.segment_ids[first_sep + 1 : second_sep + 1] == 1).all()
+
+    def test_truncation_prefers_longer_span(self, tokenizer):
+        encoded = tokenizer.encode_pair(
+            ["order"] * 20, ["product"], max_length=12
+        )
+        assert len(encoded.input_ids) == 12
+        # The single-word B span must survive truncation.
+        product_id = tokenizer.vocab.id_of("product")
+        assert product_id in encoded.input_ids.tolist()
+
+    def test_encode_single(self, tokenizer):
+        encoded = tokenizer.encode_single(["order", "product"], max_length=8)
+        ids = encoded.input_ids.tolist()
+        assert ids[0] == tokenizer.vocab.cls_id
+        assert ids.count(tokenizer.vocab.sep_id) == 1
+        assert (encoded.segment_ids == 0).all()
+
+    def test_encode_attribute_pair_includes_descriptions(self, tokenizer):
+        with_desc = tokenizer.encode_attribute_pair(
+            "order", "the order quantity", "product", "", max_length=16
+        )
+        without_desc = tokenizer.encode_attribute_pair(
+            "order", "", "product", "", max_length=16
+        )
+        assert with_desc.attention_mask.sum() > without_desc.attention_mask.sum()
+
+
+class TestStackEncoded:
+    def test_stacks_to_batch(self, tokenizer):
+        pairs = [
+            tokenizer.encode_pair(["order"], ["product"], max_length=8)
+            for _ in range(3)
+        ]
+        batch = stack_encoded(pairs)
+        assert batch.input_ids.shape == (3, 8)
+        assert batch.segment_ids.shape == (3, 8)
+        assert batch.attention_mask.shape == (3, 8)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stack_encoded([])

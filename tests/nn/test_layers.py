@@ -1,0 +1,162 @@
+"""Gradient-checked tests for the numpy layer library."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Module, Parameter
+
+
+def numeric_gradient(f, array, index, eps=1e-3):
+    """Central-difference derivative of scalar f w.r.t. array[index]."""
+    original = float(array[index])
+    array[index] = original + eps
+    plus = f()
+    array[index] = original - eps
+    minus = f()
+    array[index] = original
+    return (plus - minus) / (2 * eps)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.standard_normal((5, 4)).astype(np.float32))
+        assert out.shape == (5, 3)
+
+    def test_forward_3d_input(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.standard_normal((2, 7, 4)).astype(np.float32))
+        assert out.shape == (2, 7, 3)
+
+    def test_gradient_check(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x).astype(np.float64) ** 2).sum() / 2)
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_x = layer.backward(out.copy())
+
+        for parameter, name in ((layer.weight, "weight"), (layer.bias, "bias")):
+            index = (0, 0) if parameter.value.ndim == 2 else (0,)
+            numeric = numeric_gradient(loss, parameter.value, index)
+            assert parameter.grad[index] == pytest.approx(numeric, rel=1e-2, abs=1e-4), name
+
+        # Input gradient via perturbation of x.
+        def loss_x():
+            return float((layer.forward(x).astype(np.float64) ** 2).sum() / 2)
+
+        numeric = numeric_gradient(loss_x, x, (0, 0))
+        assert grad_x[0, 0] == pytest.approx(numeric, rel=1e-2, abs=1e-4)
+
+    def test_gradients_accumulate(self, rng):
+        layer = Linear(2, 2, rng)
+        x = np.ones((1, 2), dtype=np.float32)
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        first = layer.weight.grad.copy()
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        layer = Embedding(10, 4, rng)
+        ids = np.array([[1, 2], [2, 3]])
+        out = layer.forward(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out[0, 1], out[1, 0])  # same id -> same row
+
+    def test_backward_accumulates_per_row(self, rng):
+        layer = Embedding(5, 3, rng)
+        ids = np.array([[0, 0, 1]])
+        layer.forward(ids)
+        layer.zero_grad()
+        grad = np.ones((1, 3, 3), dtype=np.float32)
+        layer.backward(grad)
+        assert np.allclose(layer.table.grad[0], 2.0)  # id 0 used twice
+        assert np.allclose(layer.table.grad[1], 1.0)
+        assert np.allclose(layer.table.grad[2], 0.0)
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        layer = LayerNorm(16)
+        x = rng.standard_normal((4, 16)).astype(np.float32) * 3 + 5
+        out = layer.forward(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradient_check(self, rng):
+        layer = LayerNorm(6)
+        layer.gamma.value[:] = rng.standard_normal(6).astype(np.float32)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x).astype(np.float64) ** 2).sum() / 2)
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_x = layer.backward(out.copy())
+
+        numeric = numeric_gradient(loss, x, (1, 2))
+        assert grad_x[1, 2] == pytest.approx(numeric, rel=2e-2, abs=1e-4)
+        numeric_gamma = numeric_gradient(loss, layer.gamma.value, (2,))
+        assert layer.gamma.grad[2] == pytest.approx(numeric_gamma, rel=2e-2, abs=1e-4)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_train_mode_scales_survivors(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((1000,), dtype=np.float32)
+        out = layer.forward(x)
+        survivors = out[out != 0]
+        assert np.allclose(survivors, 2.0)
+        assert 300 < survivors.size < 700
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((100,), dtype=np.float32)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad != 0, out != 0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestModule:
+    def test_parameter_registry_nested(self, rng):
+        parent = Module()
+        child = parent.add_child("child", Linear(2, 2, rng))
+        assert set(parent.parameters()) == {"child.weight", "child.bias"}
+        parent.zero_grad()
+        assert np.allclose(child.weight.grad, 0.0)
+
+    def test_train_eval_propagates(self, rng):
+        parent = Module()
+        child = parent.add_child("d", Dropout(0.1, rng))
+        parent.eval()
+        assert not child.training
+        parent.train()
+        assert child.training
+
+    def test_num_parameters(self, rng):
+        layer = Linear(3, 4, rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_parameter_zero_grad(self):
+        parameter = Parameter(np.ones((2, 2)))
+        parameter.grad += 5.0
+        parameter.zero_grad()
+        assert np.allclose(parameter.grad, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import binary_cross_entropy_with_logits, softmax_cross_entropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-3
+        assert np.abs(grad).max() < 1e-3
+
+    def test_uniform_prediction_loss(self):
+        logits = np.zeros((1, 4))
+        loss, _ = softmax_cross_entropy(logits, np.array([2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([0, 2, 4])
+        _, grad = softmax_cross_entropy(logits, targets)
+        eps = 1e-6
+        for index in np.ndindex(*logits.shape):
+            original = logits[index]
+            logits[index] = original + eps
+            plus, _ = softmax_cross_entropy(logits, targets)
+            logits[index] = original - eps
+            minus, _ = softmax_cross_entropy(logits, targets)
+            logits[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert grad[index] == pytest.approx(numeric, rel=1e-3, abs=1e-7)
+
+    def test_ignore_index_excludes_positions(self):
+        logits = np.zeros((2, 3))
+        targets = np.array([1, -100])
+        loss_with_ignore, grad = softmax_cross_entropy(
+            logits, targets, ignore_index=-100
+        )
+        loss_single, _ = softmax_cross_entropy(logits[:1], targets[:1])
+        assert loss_with_ignore == pytest.approx(loss_single)
+        assert np.allclose(grad[1], 0.0)
+
+    def test_all_ignored_returns_zero(self):
+        logits = np.zeros((2, 3))
+        targets = np.array([-100, -100])
+        loss, grad = softmax_cross_entropy(logits, targets, ignore_index=-100)
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_sample_weights(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        targets = np.array([1, 1])  # first is wrong, second right
+        uniform, _ = softmax_cross_entropy(logits, targets)
+        weighted, _ = softmax_cross_entropy(
+            logits, targets, weights=np.array([0.0, 1.0])
+        )
+        assert weighted < uniform  # wrong sample weighted out
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_closed_form(self):
+        logits = np.array([0.0])
+        loss, _ = binary_cross_entropy_with_logits(logits, np.array([1.0]))
+        assert loss == pytest.approx(np.log(2))
+
+    def test_stable_for_large_logits(self):
+        loss, grad = binary_cross_entropy_with_logits(
+            np.array([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.isfinite(grad).all()
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.standard_normal(6)
+        targets = (rng.random(6) > 0.5).astype(np.float64)
+        weights = rng.random(6) + 0.5
+        _, grad = binary_cross_entropy_with_logits(logits, targets, weights)
+        eps = 1e-6
+        for i in range(6):
+            original = logits[i]
+            logits[i] = original + eps
+            plus, _ = binary_cross_entropy_with_logits(logits, targets, weights)
+            logits[i] = original - eps
+            minus, _ = binary_cross_entropy_with_logits(logits, targets, weights)
+            logits[i] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+    def test_zero_weights(self):
+        loss, grad = binary_cross_entropy_with_logits(
+            np.array([1.0]), np.array([1.0]), weights=np.array([0.0])
+        )
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)

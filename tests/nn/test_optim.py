@@ -1,0 +1,96 @@
+"""Tests for the optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, clip_gradients
+
+
+def quadratic_parameter() -> Parameter:
+    """Parameter for minimising f(w) = 0.5 * ||w - 3||^2."""
+    return Parameter(np.zeros(4))
+
+
+def quadratic_grad(parameter: Parameter) -> None:
+    parameter.grad[...] = parameter.value - 3.0
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = quadratic_parameter()
+        optimizer = SGD({"w": parameter}, lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_grad(parameter)
+            optimizer.step()
+        assert np.allclose(parameter.value, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_parameter()
+        momentum = quadratic_parameter()
+        sgd = SGD({"w": plain}, lr=0.01)
+        sgdm = SGD({"w": momentum}, lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for optimizer, parameter in ((sgd, plain), (sgdm, momentum)):
+                optimizer.zero_grad()
+                quadratic_grad(parameter)
+                optimizer.step()
+        assert np.abs(momentum.value - 3).sum() < np.abs(plain.value - 3).sum()
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD({"w": quadratic_parameter()}, lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = quadratic_parameter()
+        optimizer = Adam({"w": parameter}, lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_grad(parameter)
+            optimizer.step()
+        assert np.allclose(parameter.value, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.full(4, 10.0))
+        optimizer = Adam({"w": parameter}, lr=0.01, weight_decay=0.1)
+        for _ in range(50):
+            optimizer.zero_grad()  # zero gradient: only decay acts
+            optimizer.step()
+        assert np.abs(parameter.value).max() < 10.0
+
+    def test_weight_decay_skips_bias_and_norm_params(self):
+        bias = Parameter(np.full(2, 10.0))
+        gamma = Parameter(np.full(2, 10.0))
+        optimizer = Adam({"layer.bias": bias, "norm.gamma": gamma}, lr=0.01, weight_decay=0.1)
+        for _ in range(20):
+            optimizer.zero_grad()
+            optimizer.step()
+        assert np.allclose(bias.value, 10.0)
+        assert np.allclose(gamma.value, 10.0)
+
+
+class TestClipGradients:
+    def test_no_clip_below_threshold(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad[...] = np.array([0.1, 0.2, 0.2])
+        norm = clip_gradients({"w": parameter}, max_norm=10.0)
+        assert norm == pytest.approx(0.3)
+        assert np.allclose(parameter.grad, [0.1, 0.2, 0.2])
+
+    def test_clips_to_max_norm(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad[...] = np.array([3.0, 4.0])  # norm 5
+        clip_gradients({"w": parameter}, max_norm=1.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_parameters(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad[...] = 3.0
+        b.grad[...] = 4.0
+        norm = clip_gradients({"a": a, "b": b}, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Tests for the join graph and shortest-path queries."""
+
+from repro.schema import JoinGraph, UNREACHABLE_DISTANCE
+
+
+class TestJoinGraph:
+    def test_direct_edge_distance(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.distance("Transaction", "Product") == 1
+        assert graph.distance("Product", "Transaction") == 1
+
+    def test_two_hop_distance(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.distance("Transaction", "Brand") == 2
+
+    def test_self_distance_is_zero(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.distance("Product", "Product") == 0
+
+    def test_distance_to_set_takes_minimum(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.distance_to_set("Brand", ["Transaction", "Product"]) == 1
+        assert graph.distance_to_set("Brand", ["Transaction"]) == 2
+
+    def test_distance_to_empty_set(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.distance_to_set("Brand", []) == UNREACHABLE_DISTANCE
+
+    def test_matched_entity_has_zero_distance(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.distance_to_set("Product", ["Product"]) == 0
+
+    def test_neighbors(self, target_schema):
+        graph = JoinGraph(target_schema)
+        assert graph.neighbors("Product") == ["Brand", "Transaction"]
+
+    def test_connected_components(self, target_schema, source_schema):
+        assert len(JoinGraph(target_schema).connected_components()) == 1
+        assert len(JoinGraph(source_schema).connected_components()) == 1
+
+    def test_disconnected_entities(self):
+        from repro.schema import Attribute, Entity, Schema
+
+        schema = Schema(
+            "s",
+            [Entity("A", [Attribute("x")]), Entity("B", [Attribute("y")])],
+        )
+        graph = JoinGraph(schema)
+        assert graph.distance("A", "B") == UNREACHABLE_DISTANCE

@@ -1,0 +1,179 @@
+"""Unit tests for the E/R schema model."""
+
+import pytest
+
+from repro.schema import (
+    Attribute,
+    AttributeRef,
+    Correspondence,
+    DataType,
+    Entity,
+    EntityMatch,
+    MatchResult,
+    Relationship,
+    Schema,
+    ground_truth_from_pairs,
+)
+
+
+class TestDataType:
+    def test_parse_sql_aliases(self):
+        assert DataType.parse("VARCHAR(30)") is DataType.STRING
+        assert DataType.parse("bigint") is DataType.INTEGER
+        assert DataType.parse("NUMERIC(10, 2)") is DataType.DECIMAL
+        assert DataType.parse("timestamp") is DataType.DATETIME
+        assert DataType.parse("whatisthis") is DataType.UNKNOWN
+
+    def test_numeric_family_is_mutually_compatible(self):
+        assert DataType.INTEGER.is_compatible(DataType.DECIMAL)
+        assert DataType.FLOAT.is_compatible(DataType.INTEGER)
+
+    def test_incompatible_families(self):
+        assert not DataType.STRING.is_compatible(DataType.INTEGER)
+        assert not DataType.DATE.is_compatible(DataType.BOOLEAN)
+
+    def test_unknown_is_compatible_with_everything(self):
+        for dtype in DataType:
+            assert DataType.UNKNOWN.is_compatible(dtype)
+            assert dtype.is_compatible(DataType.UNKNOWN)
+
+    def test_temporal_family(self):
+        assert DataType.DATE.is_compatible(DataType.DATETIME)
+        assert DataType.TIME.is_compatible(DataType.DATE)
+
+
+class TestAttributeRef:
+    def test_parse_round_trip(self):
+        ref = AttributeRef.parse("Orders.order_id")
+        assert ref.entity == "Orders"
+        assert ref.attribute == "order_id"
+        assert str(ref) == "Orders.order_id"
+
+    def test_parse_rejects_unqualified(self):
+        with pytest.raises(ValueError):
+            AttributeRef.parse("order_id")
+
+    def test_ordering_and_hash(self):
+        a = AttributeRef("A", "x")
+        b = AttributeRef("A", "y")
+        assert a < b
+        assert len({a, AttributeRef("A", "x")}) == 1
+
+
+class TestEntity:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Entity("E", [Attribute("a"), Attribute("a")])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ValueError, match="primary key"):
+            Entity("E", [Attribute("a")], primary_key="b")
+
+    def test_attribute_lookup(self):
+        entity = Entity("E", [Attribute("a"), Attribute("b")], primary_key="a")
+        assert entity.attribute("b").name == "b"
+        assert entity.has_attribute("a")
+        assert not entity.has_attribute("zz")
+        with pytest.raises(KeyError):
+            entity.attribute("zz")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("", [])
+        with pytest.raises(ValueError):
+            Attribute("")
+
+
+class TestSchema:
+    def test_statistics(self, source_schema):
+        stats = source_schema.stats()
+        assert stats["entities"] == 2
+        assert stats["attributes"] == 9
+        assert stats["pk_fk"] == 1
+        assert stats["descriptions"] is True
+
+    def test_duplicate_entity_rejected(self):
+        entity = Entity("E", [Attribute("a")])
+        with pytest.raises(ValueError, match="duplicate entity"):
+            Schema("s", [entity, Entity("E", [Attribute("b")])])
+
+    def test_relationship_endpoints_validated(self):
+        entity = Entity("E", [Attribute("a")])
+        bad = Relationship(
+            child=AttributeRef("E", "a"), parent=AttributeRef("F", "b")
+        )
+        with pytest.raises(ValueError, match="unknown attribute"):
+            Schema("s", [entity], [bad])
+
+    def test_attribute_lookup_by_string(self, source_schema):
+        attribute = source_schema.attribute("Orders.qty")
+        assert attribute.dtype is DataType.DECIMAL
+        assert source_schema.has_attribute("Orders.qty")
+        assert not source_schema.has_attribute("Orders.nope")
+        assert not source_schema.has_attribute("garbage")
+
+    def test_key_refs_contains_pks_and_fks(self, source_schema):
+        keys = source_schema.key_refs()
+        assert AttributeRef("Orders", "order_id") in keys
+        assert AttributeRef("Item", "item_id") in keys
+        assert AttributeRef("Orders", "item_id") in keys
+        # No duplicates even though Orders.item_id is FK only once.
+        assert len(keys) == len(set(keys))
+
+    def test_unique_attribute_names_casefold(self):
+        schema = Schema(
+            "s",
+            [
+                Entity("A", [Attribute("Name")]),
+                Entity("B", [Attribute("name")]),
+            ],
+        )
+        assert schema.num_unique_attribute_names() == 1
+
+
+class TestMatchArtefacts:
+    def test_entity_match_rejects_duplicate_attributes(self):
+        c1 = Correspondence(AttributeRef("S", "a"), AttributeRef("T", "x"))
+        c2 = Correspondence(AttributeRef("S", "a"), AttributeRef("T", "y"))
+        with pytest.raises(ValueError):
+            EntityMatch("S", "T", [c1, c2])
+
+    def test_entity_match_rejects_foreign_entities(self):
+        c = Correspondence(AttributeRef("Other", "a"), AttributeRef("T", "x"))
+        with pytest.raises(ValueError):
+            EntityMatch("S", "T", [c])
+
+    def test_match_result_groups_by_entity_pair(self):
+        result = MatchResult.from_correspondences(
+            [
+                Correspondence(AttributeRef("S", "a"), AttributeRef("T", "x")),
+                Correspondence(AttributeRef("S", "b"), AttributeRef("U", "y")),
+                Correspondence(AttributeRef("S", "c"), AttributeRef("T", "z")),
+            ]
+        )
+        assert len(result.entity_matches) == 2
+        assert len(result) == 3
+        assert result.target_for(AttributeRef("S", "b")) == AttributeRef("U", "y")
+        assert result.target_for(AttributeRef("S", "zz")) is None
+        assert result.matched_target_entities() == {"T", "U"}
+
+    def test_match_result_rejects_double_source(self):
+        with pytest.raises(ValueError):
+            MatchResult.from_correspondences(
+                [
+                    Correspondence(AttributeRef("S", "a"), AttributeRef("T", "x")),
+                    Correspondence(AttributeRef("S", "a"), AttributeRef("T", "y")),
+                ]
+            )
+
+    def test_accuracy_against_truth(self):
+        truth = ground_truth_from_pairs([("S.a", "T.x"), ("S.b", "T.y")])
+        result = MatchResult.from_correspondences(
+            [Correspondence(AttributeRef("S", "a"), AttributeRef("T", "x"))]
+        )
+        assert result.accuracy_against(truth) == pytest.approx(0.5)
+        assert MatchResult().accuracy_against({}) == 1.0
+
+    def test_ground_truth_duplicate_source_rejected(self):
+        with pytest.raises(ValueError):
+            ground_truth_from_pairs([("S.a", "T.x"), ("S.a", "T.y")])

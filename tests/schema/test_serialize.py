@@ -1,0 +1,77 @@
+"""Round-trip tests for schema and ground-truth serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema import (
+    Attribute,
+    DataType,
+    Entity,
+    Schema,
+    ground_truth_from_dict,
+    ground_truth_to_dict,
+    load_ground_truth,
+    load_schema,
+    save_ground_truth,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaRoundTrip:
+    def test_dict_round_trip(self, source_schema):
+        rebuilt = schema_from_dict(schema_to_dict(source_schema))
+        assert rebuilt.name == source_schema.name
+        assert rebuilt.num_entities == source_schema.num_entities
+        assert rebuilt.num_attributes == source_schema.num_attributes
+        assert rebuilt.num_relationships == source_schema.num_relationships
+        for ref, attribute in source_schema.iter_attributes():
+            other = rebuilt.attribute(ref)
+            assert other.name == attribute.name
+            assert other.dtype == attribute.dtype
+            assert other.description == attribute.description
+
+    def test_file_round_trip(self, tmp_path, target_schema):
+        path = tmp_path / "schema.json"
+        save_schema(target_schema, path)
+        rebuilt = load_schema(path)
+        assert schema_to_dict(rebuilt) == schema_to_dict(target_schema)
+
+    def test_primary_keys_preserved(self, source_schema):
+        rebuilt = schema_from_dict(schema_to_dict(source_schema))
+        for entity in source_schema.entities:
+            assert rebuilt.entity(entity.name).primary_key == entity.primary_key
+
+
+class TestGroundTruthRoundTrip:
+    def test_dict_round_trip(self, ground_truth):
+        rebuilt = ground_truth_from_dict(ground_truth_to_dict(ground_truth))
+        assert rebuilt == ground_truth
+
+    def test_file_round_trip(self, tmp_path, ground_truth):
+        path = tmp_path / "truth.json"
+        save_ground_truth(ground_truth, path)
+        assert load_ground_truth(path) == ground_truth
+
+
+_identifier = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    names=st.lists(_identifier, min_size=1, max_size=5, unique=True),
+    dtypes=st.lists(st.sampled_from(list(DataType)), min_size=5, max_size=5),
+)
+def test_property_schema_round_trip(names, dtypes):
+    """Any structurally valid schema survives a serialisation round trip."""
+    entities = [
+        Entity(
+            name=f"E_{name}",
+            attributes=[Attribute(name, dtype=dtypes[i % len(dtypes)])],
+        )
+        for i, name in enumerate(names)
+    ]
+    schema = Schema("prop", entities)
+    rebuilt = schema_from_dict(schema_to_dict(schema))
+    assert schema_to_dict(rebuilt) == schema_to_dict(schema)

@@ -1,0 +1,60 @@
+"""Tests for cross-object dataset validation."""
+
+import pytest
+
+from repro.schema import (
+    AttributeRef,
+    Correspondence,
+    MatchResult,
+    ValidationError,
+    ground_truth_from_pairs,
+    validate_dataset,
+    validate_dtype_compatibility,
+    validate_match_result,
+    validate_total_ground_truth,
+)
+
+
+class TestValidation:
+    def test_valid_dataset_passes(self, source_schema, target_schema, ground_truth):
+        validate_dataset(source_schema, target_schema, ground_truth)
+
+    def test_unknown_source_endpoint(self, source_schema, target_schema):
+        truth = ground_truth_from_pairs([("Orders.nope", "Transaction.quantity")])
+        with pytest.raises(ValidationError, match="unknown source"):
+            validate_dataset(source_schema, target_schema, truth)
+
+    def test_unknown_target_endpoint(self, source_schema, target_schema):
+        truth = ground_truth_from_pairs([("Orders.qty", "Transaction.nope")])
+        with pytest.raises(ValidationError, match="unknown target"):
+            validate_dataset(source_schema, target_schema, truth)
+
+    def test_partial_truth_fails_totality(self, source_schema, ground_truth):
+        partial = dict(list(ground_truth.items())[:3])
+        with pytest.raises(ValidationError, match="lack ground truth"):
+            validate_total_ground_truth(source_schema, partial)
+
+    def test_dtype_mismatch_detected(self, source_schema, target_schema):
+        truth = {
+            AttributeRef("Orders", "qty"): AttributeRef("Product", "product_name")
+        }
+        mismatched = validate_dtype_compatibility(source_schema, target_schema, truth)
+        assert mismatched == [
+            (AttributeRef("Orders", "qty"), AttributeRef("Product", "product_name"))
+        ]
+
+    def test_match_result_validation(self, source_schema, target_schema):
+        good = MatchResult.from_correspondences(
+            [
+                Correspondence(
+                    AttributeRef("Orders", "qty"),
+                    AttributeRef("Transaction", "quantity"),
+                )
+            ]
+        )
+        validate_match_result(source_schema, target_schema, good)
+        bad = MatchResult.from_correspondences(
+            [Correspondence(AttributeRef("X", "y"), AttributeRef("Z", "w"))]
+        )
+        with pytest.raises(ValidationError):
+            validate_match_result(source_schema, target_schema, bad)

@@ -1,0 +1,42 @@
+"""Smoke tests: the CLI parser and the example scripts stay importable."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+from repro.cli import build_parser
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["stats"])
+        assert args.command == "stats"
+        args = parser.parse_args(["baselines", "rdb_star"])
+        assert args.dataset == "rdb_star"
+        args = parser.parse_args(["session", "customer_a", "--noise", "0.2"])
+        assert args.noise == 0.2
+
+    def test_unknown_dataset_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["baselines", "bogus"])
+
+    def test_stats_runs(self, capsys):
+        from repro.cli import main
+
+        main(["stats"])
+        out = capsys.readouterr().out
+        assert "customer_a" in out
+        assert "1218" in out
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    assert len(EXAMPLES) >= 4
+    py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,43 @@
+"""Tests for the abbreviation dictionary."""
+
+from repro.text import (
+    ABBREVIATIONS,
+    abbreviate_word,
+    expand_identifier,
+    expand_token,
+    expand_tokens,
+    is_abbreviation,
+)
+
+
+class TestAbbreviations:
+    def test_expand_token(self):
+        assert expand_token("qty") == "quantity"
+        assert expand_token("QTY") == "quantity"
+        assert expand_token("unknownword") == "unknownword"
+
+    def test_expand_tokens_multiword(self):
+        assert expand_tokens(["ean"]) == ["european", "article", "number"]
+
+    def test_expand_identifier(self):
+        assert expand_identifier("cust_addr") == "customer address"
+        assert expand_identifier("ord_qty") == "order quantity"
+
+    def test_abbreviate_word_round_trip(self):
+        # Single-word expansions abbreviate back to a known abbreviation.
+        word = "quantity"
+        abbreviation = abbreviate_word(word)
+        assert abbreviation != word
+        assert expand_token(abbreviation) == word
+
+    def test_is_abbreviation(self):
+        assert is_abbreviation("qty")
+        assert is_abbreviation("EAN")
+        assert not is_abbreviation("quantity")
+
+    def test_table_is_lowercase_and_nonempty(self):
+        assert len(ABBREVIATIONS) > 50
+        for abbreviation, expansion in ABBREVIATIONS.items():
+            assert abbreviation == abbreviation.lower()
+            assert expansion == expansion.lower()
+            assert abbreviation != expansion

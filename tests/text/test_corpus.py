@@ -1,0 +1,63 @@
+"""Tests for the synthetic pre-training corpus generator."""
+
+from repro.text import (
+    abbreviation_sentences,
+    build_corpus,
+    corpus_vocabulary,
+    default_lexicon,
+    lexicon_sentences,
+    schema_sentences,
+)
+
+
+class TestSchemaSentences:
+    def test_every_attribute_yields_a_sentence(self, target_schema):
+        sentences = schema_sentences(target_schema)
+        text = {" ".join(sentence) for sentence in sentences}
+        assert any("price change percentage" in t for t in text)
+        assert any("european article number" in t for t in text)
+
+    def test_relationships_produce_reference_sentences(self, target_schema):
+        sentences = schema_sentences(target_schema)
+        assert any("references" in sentence for sentence in sentences)
+
+    def test_descriptions_included(self, target_schema):
+        sentences = schema_sentences(target_schema)
+        assert any("purchased" in sentence for sentence in sentences)
+
+
+class TestLexiconAndAbbrevSentences:
+    def test_lexicon_sentences_pair_synonyms(self, rng):
+        sentences = lexicon_sentences(default_lexicon(), rng, repeats=1)
+        joined = {" ".join(sentence) for sentence in sentences}
+        assert any("discount" in t and "markdown" in t for t in joined)
+
+    def test_abbreviation_sentences_align_forms(self, rng):
+        sentences = abbreviation_sentences(rng, repeats=1)
+        joined = {" ".join(sentence) for sentence in sentences}
+        assert any("qty" in t and "quantity" in t for t in joined)
+
+
+class TestBuildCorpus:
+    def test_deterministic_for_seed(self, target_schema):
+        corpus_a = build_corpus([target_schema], seed=3)
+        corpus_b = build_corpus([target_schema], seed=3)
+        assert corpus_a == corpus_b
+
+    def test_different_seeds_differ(self, target_schema):
+        assert build_corpus([target_schema], seed=1) != build_corpus(
+            [target_schema], seed=2
+        )
+
+    def test_no_empty_sentences(self, target_schema):
+        for sentence in build_corpus([target_schema], seed=0):
+            assert sentence
+
+    def test_vocabulary_covers_schema_and_lexicon(self, target_schema):
+        corpus = build_corpus([target_schema], seed=0)
+        vocabulary = corpus_vocabulary(corpus)
+        assert {"transaction", "quantity", "discount", "markdown"} <= vocabulary
+
+    def test_corpus_without_schema_still_builds(self):
+        corpus = build_corpus(seed=0)
+        assert len(corpus) > 500

@@ -1,0 +1,66 @@
+"""Tests for the synonym lexicon (the WordNet/world-knowledge substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.text import SynonymLexicon, default_lexicon
+
+
+class TestSynonymLexicon:
+    def test_paper_example_pair(self):
+        lexicon = default_lexicon()
+        assert lexicon.are_synonyms("discount", "price_change_percentage")
+        assert lexicon.are_synonyms("PriceChangePercentage", "discount")
+
+    def test_identity_is_synonym(self):
+        lexicon = default_lexicon()
+        assert lexicon.are_synonyms("discount", "discount")
+
+    def test_non_synonyms(self):
+        lexicon = default_lexicon()
+        assert not lexicon.are_synonyms("discount", "warehouse")
+        assert not lexicon.are_synonyms("nonexistentphrase", "discount")
+
+    def test_synonyms_excludes_self(self):
+        lexicon = default_lexicon()
+        synonyms = lexicon.synonyms("discount")
+        assert "discount" not in synonyms
+        assert "markdown" in synonyms
+
+    def test_multi_group_membership_unions(self):
+        lexicon = SynonymLexicon([["a", "b"], ["a", "c"]])
+        assert lexicon.synonyms("a") == {"b", "c"}
+        assert lexicon.are_synonyms("a", "c")
+        # b and c only relate through a; they are not direct synonyms.
+        assert not lexicon.are_synonyms("b", "c")
+
+    def test_random_synonym_deterministic(self):
+        lexicon = default_lexicon()
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        assert lexicon.random_synonym("discount", rng_a) == lexicon.random_synonym(
+            "discount", rng_b
+        )
+
+    def test_random_synonym_none_for_unknown(self, rng):
+        lexicon = default_lexicon()
+        assert lexicon.random_synonym("zzzznonexistent", rng) is None
+
+    def test_iter_synonym_pairs_symmetric_coverage(self):
+        lexicon = SynonymLexicon([["a", "b", "c"]])
+        pairs = set(lexicon.iter_synonym_pairs())
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_vocabulary_contains_phrase_words(self):
+        lexicon = default_lexicon()
+        vocabulary = lexicon.vocabulary()
+        assert {"price", "change", "percentage", "discount"} <= vocabulary
+
+    def test_contains(self):
+        lexicon = default_lexicon()
+        assert "discount" in lexicon
+        assert "zzz_not_in_lexicon" not in lexicon
+
+    def test_len(self):
+        assert len(SynonymLexicon([["a", "b"]])) == 1
+        assert len(default_lexicon()) > 100

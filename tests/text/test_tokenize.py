@@ -1,0 +1,92 @@
+"""Tests for identifier tokenisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    name_and_description_tokens,
+    normalize_identifier,
+    split_identifier,
+    words,
+)
+
+
+class TestSplitIdentifier:
+    def test_snake_case(self):
+        assert split_identifier("product_item_price_amount") == [
+            "product",
+            "item",
+            "price",
+            "amount",
+        ]
+
+    def test_camel_case(self):
+        assert split_identifier("totalOrderLineAmount") == [
+            "total",
+            "order",
+            "line",
+            "amount",
+        ]
+
+    def test_pascal_case(self):
+        assert split_identifier("TotalOrderLineAmount") == [
+            "total",
+            "order",
+            "line",
+            "amount",
+        ]
+
+    def test_acronym_boundary(self):
+        assert split_identifier("EANCode") == ["ean", "code"]
+
+    def test_digit_boundaries(self):
+        assert split_identifier("address2") == ["address", "2"]
+        assert split_identifier("hbips_2a") == ["hbips", "2", "a"]
+
+    def test_mixed_separators(self):
+        assert split_identifier("order-date.time stamp") == [
+            "order",
+            "date",
+            "time",
+            "stamp",
+        ]
+
+    def test_single_acronym(self):
+        assert split_identifier("EAN") == ["ean"]
+
+    def test_empty_and_punctuation(self):
+        assert split_identifier("") == []
+        assert split_identifier("___") == []
+        assert split_identifier("a$b") == ["ab"] or split_identifier("a$b") == ["a", "b"]
+
+    def test_screaming_snake(self):
+        assert split_identifier("ORDER_ID") == ["order", "id"]
+
+
+class TestNormalizeAndWords:
+    def test_normalize(self):
+        assert normalize_identifier("PriceChangePercentage") == "price change percentage"
+        assert normalize_identifier("price_change_percentage") == "price change percentage"
+
+    def test_words_from_text(self):
+        assert words("The quantity, purchased!") == ["the", "quantity", "purchased"]
+
+    def test_name_and_description_tokens(self):
+        tokens = name_and_description_tokens("qty", "the quantity purchased")
+        assert tokens == ["qty", "the", "quantity", "purchased"]
+        assert name_and_description_tokens("qty") == ["qty"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,20}", fullmatch=True))
+def test_property_tokens_are_lowercase_alnum(identifier):
+    for token in split_identifier(identifier):
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.from_regex(r"[a-z]{1,8}", fullmatch=True), min_size=1, max_size=5))
+def test_property_snake_case_round_trip(tokens):
+    """Joining tokens with underscores and re-splitting is the identity."""
+    assert split_identifier("_".join(tokens)) == tokens

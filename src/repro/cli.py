@@ -10,6 +10,10 @@ Commands
     Non-interactive LSM accuracy (Section V-B methodology).
 ``session DATASET [--noise N] [--strategy S]``
     Run the full interactive matching session and print the labeling curve.
+``cache {stats,verify,clear}``
+    Inspect or maintain the on-disk artefact store (``.repro_cache/`` or
+    ``$REPRO_CACHE_DIR``): cumulative hit/miss/corruption counters, a full
+    integrity scan, or a sweep of every cached file.
 """
 
 from __future__ import annotations
@@ -104,6 +108,57 @@ def _cmd_session(args: argparse.Namespace) -> None:
           f"{saving:.0f}% saved vs manual labeling)")
 
 
+def _cmd_cache(args: argparse.Namespace) -> None:
+    from . import store
+
+    cache_root = store.resolve_root()
+    if args.action == "stats":
+        cumulative = store.persistent_cache_stats()
+        session = store.cache_stats()
+        rows = [
+            [name, str(getattr(cumulative, name)), str(getattr(session, name))]
+            for name in (
+                "hits",
+                "misses",
+                "corruption_events",
+                "writes",
+                "write_failures",
+                "bytes_written",
+            )
+        ]
+        print(render_table(
+            ["counter", "all sessions", "this process"],
+            rows,
+            title=f"Artifact store stats ({cache_root})",
+        ))
+        if cumulative.quarantined:
+            print("Quarantined entries (cumulative):")
+            for name in cumulative.quarantined:
+                print(f"  {name}")
+    elif args.action == "verify":
+        results = store.verify_cache()
+        if not results:
+            print(f"Artifact store at {cache_root} is empty.")
+            return
+        rows = [
+            [result.path.name, result.status, result.detail]
+            for result in results
+        ]
+        print(render_table(
+            ["entry", "status", "detail"],
+            rows,
+            title=f"Artifact store integrity ({cache_root})",
+        ))
+        bad = sum(1 for result in results if result.status == "corrupt")
+        ok = sum(1 for result in results if result.ok)
+        print(f"{ok} ok, {bad} corrupt, {len(results) - ok - bad} other")
+        if bad:
+            raise SystemExit(1)
+    elif args.action == "clear":
+        removed = store.clear_cache()
+        print(f"Removed {removed} file(s) from {cache_root}.")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Learned Schema Matcher reproduction CLI"
@@ -134,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session.add_argument("--seed", type=int, default=0)
     session.set_defaults(func=_cmd_session)
+
+    cache = subparsers.add_parser("cache", help="inspect the artefact store")
+    cache.add_argument("action", choices=["stats", "verify", "clear"])
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

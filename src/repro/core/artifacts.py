@@ -18,7 +18,6 @@ import numpy as np
 from ..embeddings.ppmi import PpmiConfig, train_ppmi_embeddings
 from ..embeddings.subword import SubwordEmbeddings, SubwordVocab
 from ..embeddings.trainer import SkipGramConfig, train_subword_embeddings
-from ..lm import cache
 from ..lm.bert import MiniBert
 from ..lm.config import BertConfig
 from ..lm.mlm import pretrain_mlm
@@ -26,6 +25,7 @@ from ..lm.tokenizer import WordPieceTokenizer
 from ..lm.vocab import WordPieceVocab, build_vocab
 from ..nn.serialize import load_state_dict, state_dict
 from ..schema.model import Schema
+from .. import store as cache
 from ..text.corpus import build_corpus
 from ..text.lexicon import SynonymLexicon
 

@@ -83,7 +83,7 @@ def generic_embeddings_for(task: MatchingTask):
     the per-vertical pre-training advantage the paper describes.
     """
     from ..embeddings.ppmi import train_ppmi_embeddings
-    from ..lm import cache
+    from .. import store as cache
     from ..text.corpus import build_corpus
     from ..text.lexicon import generic_lexicon
 

@@ -514,7 +514,7 @@ class BertFeaturizer:
         artefact cache key), the pre-trained encoder+classifier state is
         cached on disk and reused, making the per-vertical cost literal.
         """
-        from ..lm import cache as disk_cache
+        from .. import store as disk_cache
         from ..nn.serialize import load_state_dict, state_dict
 
         self._iss_samples = generate_pretraining_samples(

@@ -1,88 +1,68 @@
-"""Disk cache for pre-trained artefacts (MiniBERT weights, vocabularies).
+"""Compatibility shim over :mod:`repro.store`.
 
-Pre-training happens "once per ISS / per vertical" in the paper; the cache
-makes that literal in this repository: experiments that share an ISS reuse
-the same pre-trained encoder instead of re-running MLM.  Artefacts are keyed
-by a SHA-256 content hash of whatever inputs determined them (corpus, config,
-seed), so stale reuse is impossible.
+The on-disk artefact cache grew into a full subsystem (integrity-verified
+reads, atomic locked writes, quarantine, stats, versioned namespaces) and
+moved to :mod:`repro.store`.  This module keeps the original function API —
+``content_key`` / ``save_arrays`` / ``load_arrays`` / ``save_json`` /
+``load_json`` / ``clear_cache`` / ``cache_dir`` — so existing imports of
+``repro.lm.cache`` keep working unchanged.
 
-The cache directory resolves, in order, to ``$REPRO_CACHE_DIR``,
-``<cwd>/.repro_cache``.
+Semantics match the original except where the original was broken:
+
+* loads of corrupt entries return ``None`` (quarantining the file as
+  ``<name>.corrupt``) instead of raising ``zipfile.BadZipFile``;
+* saves go through a temp file + ``os.replace`` so an interrupted run can
+  no longer poison the cache with a truncated artefact;
+* ``clear_cache`` sweeps the whole cache directory (sidecars, quarantined
+  and temp files included), not just ``*.npz`` / ``*.json``.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
+from ..store import (
+    ArtifactStore,
+    CacheStats,
+    cache_dir,
+    cache_stats,
+    clear_cache,
+    content_key,
+    default_store,
+    load_arrays,
+    load_json,
+    persistent_cache_stats,
+    save_arrays,
+    save_json,
+    verify_cache,
+)
+from ..store.store import FORMAT_VERSION
 from pathlib import Path
-from typing import Any
-
-import numpy as np
-
-
-def cache_dir() -> Path:
-    """The root cache directory (created on demand)."""
-    root = os.environ.get("REPRO_CACHE_DIR")
-    path = Path(root) if root else Path.cwd() / ".repro_cache"
-    path.mkdir(parents=True, exist_ok=True)
-    return path
-
-
-def content_key(*parts: Any) -> str:
-    """Stable SHA-256 hex digest of a heterogeneous tuple of inputs.
-
-    Accepts strings, numbers, dicts/lists (JSON-serialised with sorted keys)
-    and lists of token lists (the corpus).
-    """
-    digest = hashlib.sha256()
-    for part in parts:
-        payload = json.dumps(part, sort_keys=True, default=str)
-        digest.update(payload.encode("utf-8"))
-        digest.update(b"\x00")
-    return digest.hexdigest()[:24]
 
 
 def npz_path(kind: str, key: str) -> Path:
-    return cache_dir() / f"{kind}-{key}.npz"
+    """Where ``save_arrays(kind, key, ...)`` will land (current namespace)."""
+    return default_store().array_path(kind, key)
 
 
 def json_path(kind: str, key: str) -> Path:
-    return cache_dir() / f"{kind}-{key}.json"
+    """Where ``save_json(kind, key, ...)`` will land (current namespace)."""
+    return default_store().json_path(kind, key)
 
 
-def save_arrays(kind: str, key: str, arrays: dict[str, np.ndarray]) -> Path:
-    path = npz_path(kind, key)
-    np.savez_compressed(path, **arrays)
-    return path
-
-
-def load_arrays(kind: str, key: str) -> dict[str, np.ndarray] | None:
-    path = npz_path(kind, key)
-    if not path.exists():
-        return None
-    with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files}
-
-
-def save_json(kind: str, key: str, payload: Any) -> Path:
-    path = json_path(kind, key)
-    path.write_text(json.dumps(payload))
-    return path
-
-
-def load_json(kind: str, key: str) -> Any | None:
-    path = json_path(kind, key)
-    if not path.exists():
-        return None
-    return json.loads(path.read_text())
-
-
-def clear_cache() -> int:
-    """Delete all cached artefacts; returns the number of files removed."""
-    removed = 0
-    for path in cache_dir().glob("*"):
-        if path.suffix in {".npz", ".json"}:
-            path.unlink()
-            removed += 1
-    return removed
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "FORMAT_VERSION",
+    "cache_dir",
+    "cache_stats",
+    "clear_cache",
+    "content_key",
+    "default_store",
+    "json_path",
+    "load_arrays",
+    "load_json",
+    "npz_path",
+    "persistent_cache_stats",
+    "save_arrays",
+    "save_json",
+    "verify_cache",
+]

@@ -1,0 +1,139 @@
+"""Integrity primitives: SHA-256 sidecars, deep reads, quarantine.
+
+Two independent layers protect every artefact:
+
+1. a ``<file>.sha256`` sidecar written at save time and checked on every
+   load — catches truncation, bit-rot and partial writes even for formats
+   without internal checksums (plain JSON);
+2. a *deep read* — ``.npz`` members are fully decompressed (exercising the
+   zip CRC), JSON fully parsed — catches a corrupt archive that happens to
+   have a stale-but-matching sidecar missing.
+
+Nothing in this module deletes data: a file that fails either check is
+*quarantined* by renaming it to ``<name>.corrupt`` (sidecar follows it), so
+the evidence survives for inspection while the store treats the entry as a
+miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Appended to a data file's full name to form its checksum sidecar.
+SIDECAR_SUFFIX = ".sha256"
+#: Appended to a data (or sidecar) file's full name when quarantined.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: Everything a read path may legitimately raise on a damaged artefact.
+CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    zipfile.LargeZipFile,
+    OSError,
+    ValueError,
+    EOFError,
+    KeyError,
+    json.JSONDecodeError,
+)
+
+
+def sidecar_path(path: Path) -> Path:
+    return path.with_name(path.name + SIDECAR_SUFFIX)
+
+
+def quarantine_path(path: Path) -> Path:
+    return path.with_name(path.name + QUARANTINE_SUFFIX)
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_sha256(path: Path, chunk_size: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        while chunk := handle.read(chunk_size):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_sidecar(path: Path, digest: str) -> None:
+    sidecar_path(path).write_text(digest + "\n", encoding="ascii")
+
+
+def check_sidecar(path: Path) -> str | None:
+    """``None`` if the sidecar matches (or is absent); else a failure reason.
+
+    A missing sidecar is tolerated so hand-dropped or legacy artefacts still
+    load — the deep read is the backstop for those.
+    """
+    sidecar = sidecar_path(path)
+    try:
+        expected = sidecar.read_text(encoding="ascii").strip()
+    except FileNotFoundError:
+        return None
+    except (OSError, UnicodeDecodeError):
+        return "unreadable checksum sidecar"
+    try:
+        actual = file_sha256(path)
+    except OSError:
+        return "unreadable file"
+    if actual != expected:
+        return f"checksum mismatch (expected {expected[:12]}…, got {actual[:12]}…)"
+    return None
+
+
+def deep_read_npz(path: Path) -> dict[str, np.ndarray]:
+    """Load every member of an ``.npz``, forcing full CRC-checked reads."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def deep_read_json(path: Path) -> object:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def probe(path: Path) -> str | None:
+    """``None`` if ``path`` passes both integrity layers; else the reason."""
+    if path.stat().st_size == 0:
+        return "zero-byte file"
+    reason = check_sidecar(path)
+    if reason is not None:
+        return reason
+    try:
+        if path.suffix == ".npz":
+            deep_read_npz(path)
+        elif path.suffix == ".json":
+            deep_read_json(path)
+    except CORRUPTION_ERRORS as exc:
+        return f"unreadable ({type(exc).__name__}: {exc})"
+    return None
+
+
+def quarantine(path: Path, reason: str) -> Path | None:
+    """Rename ``path`` (and its sidecar) out of the live namespace.
+
+    Returns the quarantine destination, or ``None`` if the rename itself
+    failed (in which case the caller still treats the entry as a miss).
+    """
+    destination = quarantine_path(path)
+    logger.warning("quarantining corrupt cache entry %s: %s", path.name, reason)
+    try:
+        path.replace(destination)
+    except OSError:
+        logger.error("could not quarantine %s; leaving in place", path)
+        return None
+    sidecar = sidecar_path(path)
+    if sidecar.exists():
+        try:
+            sidecar.replace(quarantine_path(sidecar))
+        except OSError:
+            pass
+    return destination

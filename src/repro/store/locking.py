@@ -1,0 +1,89 @@
+"""A small advisory lockfile so concurrent sessions don't interleave writes.
+
+``os.open(..., O_CREAT | O_EXCL)`` is atomic on every filesystem we care
+about (local POSIX; NFSv3+ honours it too), which is all the artefact store
+needs: writers are rare (one per expensive pre-training run) and short-lived
+(rename a temp file).  Locks from crashed processes are broken after
+``stale_after`` seconds so a SIGKILL'd run can never wedge the cache.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from pathlib import Path
+
+logger = logging.getLogger(__name__)
+
+#: Suffix shared by every lockfile; the store's sweep/verify walks skip it.
+LOCK_SUFFIX = ".lock"
+
+
+class LockTimeout(OSError):
+    """Raised when a lock cannot be acquired within the timeout."""
+
+
+class FileLock:
+    """Context manager around an ``O_EXCL`` lockfile.
+
+    >>> with FileLock(path.with_name(path.name + ".lock")):
+    ...     os.replace(tmp, path)
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        timeout: float = 10.0,
+        poll_interval: float = 0.05,
+        stale_after: float = 60.0,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._fd: int | None = None
+
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(f"could not acquire {self.path}")
+                time.sleep(self.poll_interval)
+            else:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                self._fd = fd
+                return
+
+    def release(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # holder released it between our open() and stat()
+        if age > self.stale_after:
+            logger.warning("breaking stale lock %s (age %.0fs)", self.path, age)
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

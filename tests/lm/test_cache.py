@@ -1,4 +1,9 @@
-"""Tests for the on-disk artefact cache."""
+"""Tests for the ``repro.lm.cache`` compatibility shim.
+
+The implementation moved to ``repro.store``; these tests pin the original
+function API — plus the repaired semantics: corrupt entries are a miss, not
+an exception, and ``clear_cache`` sweeps the whole directory.
+"""
 
 import numpy as np
 import pytest
@@ -39,6 +44,15 @@ class TestArrayCache:
     def test_missing_returns_none(self):
         assert cache.load_arrays("test", "nope") is None
 
+    def test_corrupt_returns_none_instead_of_raising(self):
+        """The original bug: a truncated .npz raised BadZipFile from every
+        later run.  The shim must report a miss and quarantine instead."""
+        cache.save_arrays("test", "key1", {"a": np.zeros(3)})
+        path = cache.npz_path("test", "key1")
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.load_arrays("test", "key1") is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
 
 class TestJsonCache:
     def test_round_trip(self):
@@ -48,10 +62,33 @@ class TestJsonCache:
     def test_missing_returns_none(self):
         assert cache.load_json("test", "nope") is None
 
+    def test_corrupt_returns_none_instead_of_raising(self):
+        cache.save_json("test", "key2", {"tokens": ["a"]})
+        cache.json_path("test", "key2").write_text('{"tokens": ["a')
+        assert cache.load_json("test", "key2") is None
+
+
+def test_paths_point_into_versioned_namespace(isolated_cache):
+    assert cache.npz_path("k", "x").parent == isolated_cache / f"v{cache.FORMAT_VERSION}"
+    assert cache.json_path("k", "x").suffix == ".json"
+
 
 def test_clear_cache(isolated_cache):
     cache.save_json("test", "k", [1])
     cache.save_arrays("test", "k", {"a": np.zeros(1)})
     removed = cache.clear_cache()
-    assert removed == 2
+    # entries + their .sha256 sidecars + the stats ledger, at minimum
+    assert removed >= 4
+    leftovers = [p for p in isolated_cache.rglob("*") if p.is_file()]
+    assert leftovers == []
     assert cache.load_json("test", "k") is None
+
+
+def test_clear_cache_sweeps_quarantine_and_temps(isolated_cache):
+    cache.save_arrays("test", "k", {"a": np.zeros(1)})
+    path = cache.npz_path("test", "k")
+    path.write_bytes(b"rot")
+    assert cache.load_arrays("test", "k") is None  # quarantines
+    (path.parent / ".tmp-orphan.npz").write_bytes(b"")
+    cache.clear_cache()
+    assert [p for p in isolated_cache.rglob("*") if p.is_file()] == []

@@ -1,0 +1,47 @@
+"""Tests for the artefact store's advisory lockfile."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.store import FileLock, LockTimeout
+
+
+def test_exclusive_while_held(tmp_path):
+    path = tmp_path / "entry.lock"
+    with FileLock(path):
+        assert path.exists()
+        contender = FileLock(path, timeout=0.2, poll_interval=0.02)
+        with pytest.raises(LockTimeout):
+            contender.acquire()
+    assert not path.exists()
+
+
+def test_reacquire_after_release(tmp_path):
+    path = tmp_path / "entry.lock"
+    with FileLock(path):
+        pass
+    with FileLock(path, timeout=0.5):
+        assert path.read_text() == str(os.getpid())
+
+
+def test_stale_lock_is_broken(tmp_path):
+    path = tmp_path / "entry.lock"
+    path.write_text("99999999")  # crashed holder
+    old = time.time() - 120
+    os.utime(path, (old, old))
+    with FileLock(path, timeout=1.0, stale_after=60.0):
+        assert path.exists()
+    assert not path.exists()
+
+
+def test_fresh_foreign_lock_is_respected(tmp_path):
+    path = tmp_path / "entry.lock"
+    path.write_text("99999999")  # live holder, recent mtime
+    contender = FileLock(path, timeout=0.2, poll_interval=0.02, stale_after=60.0)
+    with pytest.raises(LockTimeout):
+        contender.acquire()
+    assert path.exists()

@@ -36,6 +36,72 @@ class TestCli:
         assert "1218" in out
 
 
+class TestCacheCli:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        yield tmp_path
+
+    def test_parser_accepts_actions(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for action in ("stats", "verify", "clear"):
+            args = parser.parse_args(["cache", action])
+            assert args.action == action
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "bogus"])
+
+    def test_stats_reports_counters(self, capsys):
+        import numpy as np
+
+        from repro import store
+        from repro.cli import main
+
+        store.save_arrays("bert", "k", {"a": np.zeros(2)})
+        store.load_arrays("bert", "k")
+        main(["cache", "stats"])
+        out = capsys.readouterr().out
+        for counter in ("hits", "misses", "corruption_events", "bytes_written"):
+            assert counter in out
+
+    def test_verify_reports_corruption_and_fails(self, capsys):
+        import numpy as np
+
+        from repro import store
+        from repro.cli import main
+
+        good = store.save_arrays("bert", "good", {"a": np.zeros(2)})
+        bad = store.save_arrays("bert", "bad", {"a": np.zeros(2)})
+        bad.write_bytes(b"rotten")
+        with pytest.raises(SystemExit):
+            main(["cache", "verify"])
+        out = capsys.readouterr().out
+        assert good.name in out and bad.name in out
+        assert "corrupt" in out and "1 corrupt" in out
+
+    def test_verify_ok_exits_cleanly(self, capsys):
+        import numpy as np
+
+        from repro import store
+        from repro.cli import main
+
+        store.save_arrays("bert", "good", {"a": np.zeros(2)})
+        main(["cache", "verify"])
+        assert "1 ok, 0 corrupt" in capsys.readouterr().out
+
+    def test_clear_removes_files(self, capsys, isolated_cache):
+        import numpy as np
+
+        from repro import store
+        from repro.cli import main
+
+        store.save_arrays("bert", "k", {"a": np.zeros(2)})
+        main(["cache", "clear"])
+        assert "Removed" in capsys.readouterr().out
+        assert [p for p in isolated_cache.rglob("*") if p.is_file()] == []
+
+
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
 def test_examples_compile(path):
     assert len(EXAMPLES) >= 4

@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test parity bench-engine
+
+## Tier-1 gate: full test suite, then the engine parity suite explicitly
+## (it is part of tests/, the second run pins it even if testpaths change).
+verify: test parity
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+parity:
+	$(PYTHON) -m pytest -q tests/engine/test_parity.py
+
+## Engine perf smoke (tier-2): emits BENCH_engine.json at the repo root.
+bench-engine:
+	$(PYTHON) -m pytest -q benchmarks/test_engine_throughput.py

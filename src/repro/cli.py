@@ -14,6 +14,11 @@ Commands
     Inspect or maintain the on-disk artefact store (``.repro_cache/`` or
     ``$REPRO_CACHE_DIR``): cumulative hit/miss/corruption counters, a full
     integrity scan, or a sweep of every cached file.
+``engine stats [--dataset D] [--workers N] [--microbatch B] [--fast]``
+    Exercise the batched scoring engine on a dataset (two ``predict()``
+    passes plus one label) and print its per-stage timings and incremental
+    re-scoring counters.  ``--fast`` uses tiny artefacts for a quick smoke
+    run instead of the full per-vertical pre-training.
 """
 
 from __future__ import annotations
@@ -159,6 +164,61 @@ def _cmd_cache(args: argparse.Namespace) -> None:
         print(f"Removed {removed} file(s) from {cache_root}.")
 
 
+def _cmd_engine(args: argparse.Namespace) -> None:
+    from .core.artifacts import ArtifactConfig, build_artifacts
+    from .core.config import LsmConfig
+    from .core.matcher import LearnedSchemaMatcher
+    from .engine import EngineConfig
+
+    task = load_dataset(args.dataset)
+    artifacts = None
+    if args.fast:
+        artifacts = build_artifacts(
+            task.target,
+            config=ArtifactConfig(
+                vocab_size=400,
+                hidden_size=32,
+                num_layers=1,
+                num_heads=2,
+                intermediate_size=64,
+                max_position=32,
+                mlm_epochs=1,
+            ),
+        )
+    config = LsmConfig(
+        engine=EngineConfig(
+            n_workers=args.workers,
+            microbatch_size=args.microbatch,
+            bucket_granularity=args.bucket_granularity,
+        ),
+        update_bert_every=10**9,  # isolate incremental re-scoring from retraining
+    )
+    matcher = LearnedSchemaMatcher(task.source, task.target, config=config, artifacts=artifacts)
+    try:
+        matcher.predict()  # cold pass: every pair is scored
+        if task.ground_truth:
+            source, target = next(iter(task.ground_truth.items()))
+            matcher.record_match(source, target)
+        matcher.predict()  # warm pass: unchanged pairs are served from cache
+        stats = matcher.engine_stats()
+    finally:
+        matcher.close()
+    rows = [[name, str(value)] for name, value in stats.items()]
+    print(render_table(
+        ["counter", "value"],
+        rows,
+        title=(
+            f"Scoring engine on {args.dataset} "
+            f"(workers={args.workers}, microbatch={args.microbatch})"
+        ),
+    ))
+    skipped = stats.get("pairs_skipped", 0)
+    requested = stats.get("pairs_requested", 0)
+    if isinstance(requested, int) and requested:
+        print(f"Incremental re-scoring skipped {skipped}/{requested} pair scorings "
+              f"({100.0 * int(skipped) / requested:.0f}%).")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Learned Schema Matcher reproduction CLI"
@@ -193,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache = subparsers.add_parser("cache", help="inspect the artefact store")
     cache.add_argument("action", choices=["stats", "verify", "clear"])
     cache.set_defaults(func=_cmd_cache)
+
+    engine = subparsers.add_parser("engine", help="scoring-engine diagnostics")
+    engine.add_argument("action", choices=["stats"])
+    engine.add_argument("--dataset", choices=ALL_NAMES, default="rdb_star")
+    engine.add_argument("--workers", type=int, default=0)
+    engine.add_argument("--microbatch", type=int, default=64)
+    engine.add_argument("--bucket-granularity", type=int, default=8)
+    engine.add_argument(
+        "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
+    )
+    engine.set_defaults(func=_cmd_engine)
     return parser
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..engine import EngineConfig
 from ..featurizers.bert import BertFeaturizerConfig
 
 
@@ -56,6 +57,9 @@ class LsmConfig:
     meta_l2: float = 0.5
     meta_prior_blend_full_at: int = 5
     bert: BertFeaturizerConfig = field(default_factory=BertFeaturizerConfig)
+    #: Scoring-engine knobs (micro-batching, worker parallelism, incremental
+    #: re-scoring persistence); see :class:`repro.engine.EngineConfig`.
+    engine: EngineConfig = field(default_factory=EngineConfig)
     update_bert_every: int = 1
     seed: int = 0
 

@@ -89,7 +89,11 @@ class LearnedSchemaMatcher:
         self.bert_featurizer: BertFeaturizer | None = None
         if self.config.use_bert:
             self.bert_featurizer = BertFeaturizer(
-                self.artifacts.tokenizer, self.artifacts.bert, self.config.bert
+                self.artifacts.tokenizer,
+                self.artifacts.bert,
+                self.config.bert,
+                engine_config=self.config.engine,
+                engine_cache_token=self.artifacts.cache_key,
             )
             self.bert_featurizer.pretrain(
                 target_schema, cache_key=self.artifacts.cache_key
@@ -224,6 +228,26 @@ class LearnedSchemaMatcher:
         )
         unmatched = self.store.unmatched_sources()
         return self.strategy.select(unmatched, confidences, n)
+
+    # -- observability -------------------------------------------------------------
+
+    def engine_stats(self) -> dict[str, object]:
+        """Scoring-engine counters plus per-featurizer pipeline timings.
+
+        The engine counters (``pairs_skipped``, stage times, worker batches)
+        come from the BERT featurizer's :class:`repro.engine.ScoringEngine`;
+        ``pipeline.<name>`` entries are cumulative seconds per featurizer.
+        """
+        payload: dict[str, object] = {}
+        if self.bert_featurizer is not None:
+            payload.update(self.bert_featurizer.engine.stats.as_dict())
+        for name, seconds in self.pipeline.timings().items():
+            payload[f"pipeline.{name}"] = round(seconds, 6)
+        return payload
+
+    def close(self) -> None:
+        """Release featurizer resources (scoring-engine worker pools)."""
+        self.pipeline.close()
 
     # -- results -------------------------------------------------------------------
 

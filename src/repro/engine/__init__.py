@@ -1,0 +1,29 @@
+"""Batched, parallel, incremental scoring engine for featurization.
+
+Public surface:
+
+* :class:`ScoringEngine` / :class:`EngineConfig` -- the engine itself;
+* :class:`EngineStats` -- per-stage timing counters;
+* :func:`plan_microbatches` / :class:`MicroBatch` -- length-bucketed batch
+  planning (usable standalone);
+* :class:`MicroBatchExecutor` -- the spawn-safe worker pool.
+"""
+
+from .batching import MicroBatch, bucket_key, plan_microbatches, plan_num_buckets
+from .engine import FINGERPRINT_BYTES, EngineConfig, ScoringEngine, fingerprint_encoded
+from .executor import MicroBatchExecutor, make_worker_payload
+from .stats import EngineStats
+
+__all__ = [
+    "EngineConfig",
+    "EngineStats",
+    "FINGERPRINT_BYTES",
+    "MicroBatch",
+    "MicroBatchExecutor",
+    "ScoringEngine",
+    "bucket_key",
+    "fingerprint_encoded",
+    "make_worker_payload",
+    "plan_microbatches",
+    "plan_num_buckets",
+]

@@ -1,0 +1,158 @@
+"""Spawn-safe multiprocessing executor for scoring micro-batches.
+
+Workers are plain OS processes (``spawn`` start method by default, so the
+executor behaves identically on fork-less platforms and never inherits a
+half-initialised numpy state).  Each worker rebuilds MiniBERT plus the
+matching classifier once, from a pickled state-dict payload passed through
+the pool initializer; tasks then carry only the micro-batch arrays, so
+per-task IPC stays proportional to the batch, not the model.
+
+The executor degrades gracefully: if the pool cannot be created (missing
+semaphores in sandboxes, resource limits) or a map call fails mid-flight, it
+marks itself broken and the engine falls back to in-process scoring -- a
+parity-preserving slowdown, never an error.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+from typing import Sequence
+
+import numpy as np
+
+from ..lm.tokenizer import EncodedPair
+from .batching import MicroBatch
+
+logger = logging.getLogger(__name__)
+
+#: Worker-process scoring context, built once per pool by :func:`_init_worker`.
+_WORKER_CONTEXT: dict | None = None
+
+
+def make_worker_payload(model, classifier, special_ids: Sequence[int]) -> bytes:
+    """Serialise everything a worker needs to rebuild the scoring stack."""
+    from ..nn.serialize import state_dict
+
+    spec = {
+        "bert_config": model.config.to_dict(),
+        "model_state": state_dict(model),
+        "hidden_size": model.config.hidden_size,
+        "classifier_size": classifier.output.weight.value.shape[0],
+        "classifier_state": state_dict(classifier),
+        "special_ids": list(special_ids),
+    }
+    return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: rebuild the model/classifier in the child process."""
+    # Imports are local so the parent can import this module without pulling
+    # the featurizer stack (which itself imports repro.engine).
+    global _WORKER_CONTEXT
+    from ..featurizers.bert import MatchingClassifier
+    from ..lm.bert import MiniBert
+    from ..lm.config import BertConfig
+    from ..nn.serialize import load_state_dict
+
+    spec = pickle.loads(payload)
+    model = MiniBert(BertConfig.from_dict(spec["bert_config"]))
+    load_state_dict(model, spec["model_state"])
+    model.eval()
+    classifier = MatchingClassifier(
+        spec["hidden_size"], spec["classifier_size"], np.random.default_rng(0)
+    )
+    load_state_dict(classifier, spec["classifier_state"])
+    classifier.eval()
+    _WORKER_CONTEXT = {
+        "model": model,
+        "classifier": classifier,
+        "special_ids": spec["special_ids"],
+    }
+
+
+def _score_in_worker(arrays: tuple[np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
+    """Pool task: score one micro-batch with the worker's rebuilt stack."""
+    from ..featurizers.bert import score_encoded_batch
+
+    assert _WORKER_CONTEXT is not None, "worker used before initialization"
+    batch = EncodedPair(input_ids=arrays[0], segment_ids=arrays[1], attention_mask=arrays[2])
+    return score_encoded_batch(
+        _WORKER_CONTEXT["model"],
+        _WORKER_CONTEXT["classifier"],
+        _WORKER_CONTEXT["special_ids"],
+        batch,
+    )
+
+
+class MicroBatchExecutor:
+    """A lazily created, payload-versioned worker pool for micro-batches."""
+
+    def __init__(self, n_workers: int, start_method: str = "spawn") -> None:
+        self.n_workers = n_workers
+        self.start_method = start_method
+        self._pool = None
+        self._payload_version: int | None = None
+        self._broken = False
+
+    @property
+    def available(self) -> bool:
+        """Whether parallel execution is worth attempting at all."""
+        return self.n_workers > 0 and not self._broken
+
+    def ensure_pool(self, payload: bytes, version: int) -> bool:
+        """(Re)create the pool if the model payload changed; True on success."""
+        if not self.available:
+            return False
+        if self._pool is not None and self._payload_version == version:
+            return True
+        self.close()
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.n_workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+            self._payload_version = version
+            return True
+        except Exception:  # pool creation is best-effort by design
+            logger.warning(
+                "scoring worker pool unavailable; falling back in-process",
+                exc_info=True,
+            )
+            self._pool = None
+            self._broken = True
+            return False
+
+    def map(self, plan: Sequence[MicroBatch]) -> list[np.ndarray] | None:
+        """Score the plan on the pool; ``None`` signals the caller to fall back."""
+        if self._pool is None:
+            return None
+        tasks = [
+            (mb.batch.input_ids, mb.batch.segment_ids, mb.batch.attention_mask)
+            for mb in plan
+        ]
+        try:
+            return self._pool.map(_score_in_worker, tasks, chunksize=1)
+        except Exception:
+            logger.warning(
+                "scoring worker pool failed mid-flight; falling back in-process",
+                exc_info=True,
+            )
+            self.close()
+            self._broken = True
+            return None
+
+    def close(self) -> None:
+        """Terminate the pool (idempotent)."""
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass
+            self._pool = None
+        self._payload_version = None

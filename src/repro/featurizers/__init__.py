@@ -8,7 +8,10 @@ from .bert import (
     BertFeaturizerConfig,
     MatchingClassifier,
     TrainingSample,
+    compute_match_features,
     generate_pretraining_samples,
+    score_encoded_batch,
+    segment_content_masks,
 )
 from .pipeline import FeaturizerPipeline
 
@@ -23,6 +26,9 @@ __all__ = [
     "MatchingClassifier",
     "StaticFeaturizer",
     "TrainingSample",
+    "compute_match_features",
     "generate_pretraining_samples",
     "make_pair_view",
+    "score_encoded_batch",
+    "segment_content_masks",
 ]

@@ -87,9 +87,15 @@ class Featurizer(Protocol):
 
 @dataclass
 class StaticFeaturizer:
-    """Convenience base for stateless featurizers (update is a no-op)."""
+    """Convenience base for stateless featurizers (update is a no-op).
+
+    Tracks cache hits/misses so ``repro engine stats`` can report how much
+    of each featurization pass was served without recomputation.
+    """
 
     cache: dict[tuple[AttributeRef, AttributeRef], float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def update(
         self,
@@ -105,6 +111,9 @@ class StaticFeaturizer:
             if cached is None:
                 cached = float(self._score(pair))
                 self.cache[pair.key] = cached
+                self.cache_misses += 1
+            else:
+                self.cache_hits += 1
             scores[index] = cached
         return scores
 

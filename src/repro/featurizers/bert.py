@@ -96,6 +96,99 @@ class MatchingClassifier(Module):
         return np.concatenate([grad_scalars, grad_channels], axis=1)
 
 
+# -- pure scoring functions ------------------------------------------------------
+#
+# Module-level so the scoring engine's worker processes (repro.engine.executor)
+# can run the exact same code path as the in-process featurizer: workers
+# rebuild (model, classifier) from a state dict and call score_encoded_batch.
+
+
+def segment_content_masks(
+    special_ids: Sequence[int], batch: EncodedPair
+) -> tuple[np.ndarray, np.ndarray]:
+    """Float masks (B, T) selecting the *content* tokens of each segment.
+
+    [CLS]/[SEP]/[PAD] are excluded so the segment means reflect the
+    attribute text only.
+    """
+    special = sorted(special_ids)
+    content = (~np.isin(batch.input_ids, special)).astype(np.float32)
+    attention = batch.attention_mask.astype(np.float32) * content
+    segment_b = (batch.segment_ids == 1).astype(np.float32) * attention
+    segment_a = (batch.segment_ids == 0).astype(np.float32) * attention
+    return segment_a, segment_b
+
+
+def compute_match_features(
+    model: MiniBert, special_ids: Sequence[int], batch: EncodedPair
+) -> tuple[np.ndarray, dict]:
+    """Encoder forward producing the matching classifier's input features.
+
+    Channels: pooled CLS, |u - v| and u * v from the contextual hidden
+    states, plus |u0 - v0| and u0 * v0 from the (detached) raw token
+    embeddings -- the latter carry the distributional word geometry
+    directly, without positional/segment additions.  The returned cache
+    feeds :meth:`BertFeaturizer._backward_features` during training.
+    """
+    if batch.input_ids.ndim != 2:
+        raise ValueError(
+            f"compute_match_features expects a batched EncodedPair with 2-D "
+            f"input_ids, got shape {batch.input_ids.shape}; wrap single pairs "
+            f"with stack_encoded"
+        )
+    hidden, pooled = model.forward(batch)
+    embedded = model.token_embedding.table.value[batch.input_ids]
+    mask_a, mask_b = segment_content_masks(special_ids, batch)
+    count_a = np.maximum(mask_a.sum(axis=1, keepdims=True), 1.0)
+    count_b = np.maximum(mask_b.sum(axis=1, keepdims=True), 1.0)
+    u = (hidden * mask_a[..., None]).sum(axis=1) / count_a
+    v = (hidden * mask_b[..., None]).sum(axis=1) / count_b
+    u0 = (embedded * mask_a[..., None]).sum(axis=1) / count_a
+    v0 = (embedded * mask_b[..., None]).sum(axis=1) / count_b
+
+    def batched_cosine(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(x, axis=1) * np.linalg.norm(y, axis=1)
+        norms[norms == 0.0] = 1.0
+        return ((x * y).sum(axis=1) / norms)[:, None]
+
+    cosine_uv = batched_cosine(u, v)
+    features = np.concatenate(
+        [
+            cosine_uv,
+            batched_cosine(u0, v0),
+            pooled,
+            np.abs(u - v),
+            u * v,
+            np.abs(u0 - v0),
+            u0 * v0,
+        ],
+        axis=1,
+    )
+    cache = {
+        "mask_a": mask_a,
+        "mask_b": mask_b,
+        "count_a": count_a,
+        "count_b": count_b,
+        "u": u,
+        "v": v,
+        "cosine_uv": cosine_uv[:, 0],
+        "hidden_shape": hidden.shape,
+    }
+    return features, cache
+
+
+def score_encoded_batch(
+    model: MiniBert,
+    classifier: MatchingClassifier,
+    special_ids: Sequence[int],
+    batch: EncodedPair,
+) -> np.ndarray:
+    """Similarity probabilities in [0, 1] for one batched encoded input."""
+    features, _cache = compute_match_features(model, special_ids, batch)
+    logits = classifier.forward(features)
+    return sigmoid(logits.astype(np.float64))
+
+
 @dataclass(frozen=True)
 class TrainingSample:
     """One classifier-training sentence pair with its label and weight."""
@@ -290,7 +383,11 @@ class BertFeaturizer:
         tokenizer: WordPieceTokenizer,
         model: MiniBert,
         config: BertFeaturizerConfig | None = None,
+        engine_config: "EngineConfig | None" = None,
+        engine_cache_token: str | None = None,
     ) -> None:
+        from ..engine import ScoringEngine
+
         self.tokenizer = tokenizer
         # Fine-tuning mutates the encoder; work on a private copy so shared
         # per-vertical artefacts stay pristine across matchers and trials.
@@ -304,8 +401,16 @@ class BertFeaturizer:
         self._iss_samples: list[TrainingSample] = []
         self._human_samples: list[TrainingSample] = []
         self._encoded_cache: dict[tuple, EncodedPair] = {}
-        self._scores_dirty = True
-        self._score_cache: dict[tuple, float] = {}
+        #: The batched/parallel/incremental scoring path; all inference goes
+        #: through it so cached scores survive predict() calls that did not
+        #: change the weights.
+        self.engine = ScoringEngine(
+            self.model,
+            self.classifier,
+            sorted(self.tokenizer.vocab.special_ids()),
+            config=engine_config,
+            cache_token=engine_cache_token,
+        )
 
     @property
     def name(self) -> str:
@@ -334,66 +439,11 @@ class BertFeaturizer:
 
     # -- encoder match features --------------------------------------------------
 
-    def _segment_masks(self, batch: EncodedPair) -> tuple[np.ndarray, np.ndarray]:
-        """Float masks (B, T) selecting the *content* tokens of each segment.
-
-        [CLS]/[SEP]/[PAD] are excluded so the segment means reflect the
-        attribute text only.
-        """
-        special = sorted(self.tokenizer.vocab.special_ids())
-        content = (~np.isin(batch.input_ids, special)).astype(np.float32)
-        attention = batch.attention_mask.astype(np.float32) * content
-        segment_b = (batch.segment_ids == 1).astype(np.float32) * attention
-        segment_a = (batch.segment_ids == 0).astype(np.float32) * attention
-        return segment_a, segment_b
-
     def _forward_features(self, batch: EncodedPair) -> tuple[np.ndarray, dict]:
-        """Encoder forward producing the classifier's match features.
-
-        Channels: pooled CLS, |u - v| and u * v from the contextual hidden
-        states, plus |u0 - v0| and u0 * v0 from the (detached) raw token
-        embeddings -- the latter carry the distributional word geometry
-        directly, without positional/segment additions.
-        """
-        hidden, pooled = self.model.forward(batch)
-        embedded = self.model.token_embedding.table.value[batch.input_ids]
-        mask_a, mask_b = self._segment_masks(batch)
-        count_a = np.maximum(mask_a.sum(axis=1, keepdims=True), 1.0)
-        count_b = np.maximum(mask_b.sum(axis=1, keepdims=True), 1.0)
-        u = (hidden * mask_a[..., None]).sum(axis=1) / count_a
-        v = (hidden * mask_b[..., None]).sum(axis=1) / count_b
-        u0 = (embedded * mask_a[..., None]).sum(axis=1) / count_a
-        v0 = (embedded * mask_b[..., None]).sum(axis=1) / count_b
-
-        def batched_cosine(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-            norms = np.linalg.norm(x, axis=1) * np.linalg.norm(y, axis=1)
-            norms[norms == 0.0] = 1.0
-            return ((x * y).sum(axis=1) / norms)[:, None]
-
-        cosine_uv = batched_cosine(u, v)
-        features = np.concatenate(
-            [
-                cosine_uv,
-                batched_cosine(u0, v0),
-                pooled,
-                np.abs(u - v),
-                u * v,
-                np.abs(u0 - v0),
-                u0 * v0,
-            ],
-            axis=1,
+        """Classifier input features for ``batch`` (see :func:`compute_match_features`)."""
+        return compute_match_features(
+            self.model, sorted(self.tokenizer.vocab.special_ids()), batch
         )
-        cache = {
-            "mask_a": mask_a,
-            "mask_b": mask_b,
-            "count_a": count_a,
-            "count_b": count_b,
-            "u": u,
-            "v": v,
-            "cosine_uv": cosine_uv[:, 0],
-            "hidden_shape": hidden.shape,
-        }
-        return features, cache
 
     def _backward_features(self, grad_features: np.ndarray, cache: dict) -> None:
         """Backpropagate match-feature gradients into the encoder."""
@@ -499,7 +549,7 @@ class BertFeaturizer:
                 losses.append(loss)
         self.model.eval()
         self.classifier.eval()
-        self._scores_dirty = True
+        self.engine.invalidate_model()
         return losses
 
     def pretrain(
@@ -551,7 +601,7 @@ class BertFeaturizer:
                 load_state_dict(self.classifier, classifier_state)
                 self.model.eval()
                 self.classifier.eval()
-                self._scores_dirty = True
+                self.engine.invalidate_model()
                 return []
         losses = self._train(
             self._iss_samples,
@@ -606,29 +656,18 @@ class BertFeaturizer:
     # -- scoring ---------------------------------------------------------------
 
     def score_pairs(self, pairs: Sequence[AttributePairView]) -> np.ndarray:
-        """Similarity scores in [0, 1]: sigmoid of the classifier logits."""
-        if self._scores_dirty:
-            self._score_cache.clear()
-            self._scores_dirty = False
-        scores = np.empty(len(pairs), dtype=np.float64)
-        pending: list[int] = []
-        for index, pair in enumerate(pairs):
-            cached = self._score_cache.get(pair.key)
-            if cached is None:
-                pending.append(index)
-            else:
-                scores[index] = cached
-        if pending:
-            self.model.eval()
-            self.classifier.eval()
-            batch_size = max(64, self.config.batch_size)
-            for start in range(0, len(pending), batch_size):
-                chunk = pending[start : start + batch_size]
-                batch = stack_encoded([self._encode_view(pairs[i]) for i in chunk])
-                features, _cache = self._forward_features(batch)
-                logits = self.classifier.forward(features)
-                probabilities = sigmoid(logits.astype(np.float64))
-                for i, probability in zip(chunk, probabilities):
-                    scores[i] = float(probability)
-                    self._score_cache[pairs[i].key] = float(probability)
-        return scores
+        """Similarity scores in [0, 1]: sigmoid of the classifier logits.
+
+        All inference is delegated to the scoring engine, which serves
+        already-scored pairs from its fingerprint cache and pushes the rest
+        through length-bucketed (optionally parallel) micro-batches.
+        """
+        if not pairs:
+            return np.zeros(0, dtype=np.float64)
+        with self.engine.stats.timer("encode"):
+            encoded = [self._encode_view(pair) for pair in pairs]
+        return self.engine.score_encoded(encoded)
+
+    def close(self) -> None:
+        """Release engine resources (worker pool); idempotent."""
+        self.engine.close()

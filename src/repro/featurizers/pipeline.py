@@ -4,10 +4,15 @@ Stacks any number of featurizers into a feature matrix.  The design mirrors
 the paper's: "a modular featurization pipeline with currently three
 featurizers plugged in, but our design allows for easy incorporation of more
 featurizers in the future."
+
+The pipeline also keeps per-featurizer wall-clock accounting so the scoring
+engine's stage timers extend across the whole featurization step (surfaced
+by ``repro engine stats``).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -25,6 +30,10 @@ class FeaturizerPipeline:
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate featurizer names: {names}")
         self.featurizers = list(featurizers)
+        #: Cumulative seconds spent inside each featurizer's ``score_pairs``.
+        self.stage_seconds: dict[str, float] = {name: 0.0 for name in names}
+        #: ``featurize`` invocations per featurizer.
+        self.stage_calls: dict[str, int] = {name: 0 for name in names}
 
     @property
     def feature_names(self) -> list[str]:
@@ -38,7 +47,12 @@ class FeaturizerPipeline:
         """Feature matrix of shape (num_pairs, num_features)."""
         if not pairs:
             return np.zeros((0, self.num_features), dtype=np.float64)
-        columns = [featurizer.score_pairs(pairs) for featurizer in self.featurizers]
+        columns = []
+        for featurizer in self.featurizers:
+            start = time.perf_counter()
+            columns.append(featurizer.score_pairs(pairs))
+            self.stage_seconds[featurizer.name] += time.perf_counter() - start
+            self.stage_calls[featurizer.name] += 1
         return np.column_stack(columns)
 
     def update(
@@ -49,3 +63,14 @@ class FeaturizerPipeline:
         """Propagate the current labels to every stateful featurizer."""
         for featurizer in self.featurizers:
             featurizer.update(labeled_pairs, labels)
+
+    def timings(self) -> dict[str, float]:
+        """Per-featurizer cumulative seconds (copy; safe to mutate)."""
+        return dict(self.stage_seconds)
+
+    def close(self) -> None:
+        """Release any featurizer-held resources (worker pools)."""
+        for featurizer in self.featurizers:
+            closer = getattr(featurizer, "close", None)
+            if callable(closer):
+                closer()

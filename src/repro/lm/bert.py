@@ -66,8 +66,11 @@ class MiniBert(Module):
         ``tanh(W * h_[CLS] + b)`` with shape (batch, hidden).
         """
         input_ids = batch.input_ids
-        if input_ids.ndim == 1:
-            raise ValueError("forward expects a batched EncodedPair; use stack_encoded")
+        if input_ids.ndim != 2:
+            raise ValueError(
+                f"forward expects a batched EncodedPair with 2-D input_ids, got "
+                f"shape {input_ids.shape}; wrap single pairs with stack_encoded"
+            )
         batch_size, seq_len = input_ids.shape
         if seq_len > self.config.max_position:
             raise ValueError(

@@ -152,3 +152,37 @@ def stack_encoded(pairs: list[EncodedPair]) -> EncodedPair:
         segment_ids=np.stack([pair.segment_ids for pair in pairs]),
         attention_mask=np.stack([pair.attention_mask for pair in pairs]),
     )
+
+
+def encoded_length(pair: EncodedPair) -> int:
+    """Number of real (non-padding) tokens of one unbatched encoded pair."""
+    if pair.input_ids.ndim != 1:
+        raise ValueError("encoded_length expects an unbatched EncodedPair")
+    return int(pair.attention_mask.sum())
+
+
+def trim_encoded(batch: EncodedPair, length: int | None = None) -> EncodedPair:
+    """Drop trailing all-padding columns from a batched :class:`EncodedPair`.
+
+    Attention masks zero padding keys out of every attention softmax and out
+    of the segment pooling, so removing padding columns leaves the scores of
+    every row unchanged -- this is what makes length-bucketed micro-batching
+    (``repro.engine``) numerically equivalent to the monolithic batch.
+
+    ``length`` pads the trim point up (e.g. to a bucket boundary); it must
+    cover the longest row.  ``None`` trims to the longest row exactly.
+    """
+    if batch.input_ids.ndim != 2:
+        raise ValueError("trim_encoded expects a batched EncodedPair; use stack_encoded")
+    longest = int(batch.attention_mask.sum(axis=1).max()) if batch.input_ids.size else 0
+    width = batch.input_ids.shape[1]
+    if length is None:
+        length = longest
+    if length < longest:
+        raise ValueError(f"trim length {length} drops real tokens (longest row: {longest})")
+    length = min(length, width)
+    return EncodedPair(
+        input_ids=batch.input_ids[:, :length],
+        segment_ids=batch.segment_ids[:, :length],
+        attention_mask=batch.attention_mask[:, :length],
+    )

@@ -7,6 +7,7 @@ from repro.featurizers import (
     BertFeaturizer,
     BertFeaturizerConfig,
     MatchingClassifier,
+    compute_match_features,
     generate_pretraining_samples,
     make_pair_view,
 )
@@ -160,3 +161,30 @@ class TestBertFeaturizerTraining:
 
     def test_update_without_labels_is_noop(self, featurizer):
         featurizer.update([], [])  # must not raise
+
+
+class TestEncodePathsAreBatched:
+    """Every encode path must go through stack_encoded (satellite of PR 2)."""
+
+    def test_compute_match_features_rejects_unbatched(self, featurizer):
+        single = featurizer.tokenizer.encode_pair(["order"], ["product"], max_length=12)
+        with pytest.raises(
+            ValueError, match=r"2-D.*wrap single pairs\s+with stack_encoded"
+        ):
+            compute_match_features(
+                featurizer.model,
+                sorted(featurizer.tokenizer.vocab.special_ids()),
+                single,
+            )
+
+    def test_score_pairs_accepts_a_single_view(self, featurizer, source_schema, target_schema):
+        """One pair flows through the engine's stack_encoded path, no ValueError."""
+        view = make_pair_view(
+            source_schema,
+            target_schema,
+            AttributeRef("Orders", "order_id"),
+            AttributeRef("Transaction", "transaction_id"),
+        )
+        scores = featurizer.score_pairs([view])
+        assert scores.shape == (1,)
+        assert 0.0 <= scores[0] <= 1.0

@@ -5,6 +5,7 @@ import pytest
 
 from repro.lm import (
     BertConfig,
+    EncodedPair,
     MiniBert,
     MultiHeadSelfAttention,
     TransformerBlock,
@@ -146,8 +147,22 @@ class TestMiniBert:
     def test_rejects_unbatched_input(self, config, tokenizer):
         model = MiniBert(config, seed=0)
         single = tokenizer.encode_pair(["order"], ["product"], max_length=12)
-        with pytest.raises(ValueError, match="batched"):
+        # The message must name the shape it got and the fix.
+        with pytest.raises(
+            ValueError, match=r"got\s+shape \(12,\).*wrap single pairs with stack_encoded"
+        ):
             model.forward(single)
+
+    def test_rejects_three_dimensional_input(self, config, tokenizer):
+        model = MiniBert(config, seed=0)
+        single = tokenizer.encode_pair(["order"], ["product"], max_length=12)
+        lifted = EncodedPair(
+            input_ids=single.input_ids[None, None, :],
+            segment_ids=single.segment_ids[None, None, :],
+            attention_mask=single.attention_mask[None, None, :],
+        )
+        with pytest.raises(ValueError, match="stack_encoded"):
+            model.forward(lifted)
 
     def test_full_gradient_check_pooled(self, config, tokenizer):
         model = MiniBert(config, seed=0)

@@ -1,0 +1,91 @@
+"""Property-based tests for WordPiece pair encoding and batch stacking.
+
+Random identifier pairs must encode without crashing at any ``max_length``,
+truncation must never drop [CLS] or either [SEP], and ``stack_encoded`` must
+be permutation-equivariant (the engine's bucketing relies on it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lm.tokenizer import WordPieceTokenizer, encoded_length, stack_encoded
+from repro.lm.vocab import build_vocab
+from repro.text.tokenize import split_identifier
+
+CORPUS = [
+    ["product", "item", "price", "amount", "discount", "quantity"],
+    ["transaction", "date", "identifier", "brand", "name", "status"],
+    ["european", "article", "number", "customer", "order", "line"],
+]
+
+
+@pytest.fixture(scope="module")
+def tokenizer() -> WordPieceTokenizer:
+    return WordPieceTokenizer(build_vocab(CORPUS, target_size=120))
+
+
+word_lists = st.lists(
+    st.text(max_size=24).map(lambda s: " ".join(split_identifier(s)) or "x"),
+    max_size=8,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(word_lists, word_lists, st.integers(min_value=4, max_value=48))
+def test_encode_pair_shape_and_specials(tokenizer, words_a, words_b, max_length):
+    encoded = tokenizer.encode_pair(words_a, words_b, max_length=max_length)
+    vocab = tokenizer.vocab
+
+    assert encoded.input_ids.shape == (max_length,)
+    assert encoded.segment_ids.shape == (max_length,)
+    assert encoded.attention_mask.shape == (max_length,)
+
+    length = encoded_length(encoded)
+    assert 3 <= length <= max_length
+    # Attention is a prefix of ones; padding is all-PAD beyond it.
+    assert (encoded.attention_mask[:length] == 1).all()
+    assert (encoded.attention_mask[length:] == 0).all()
+    assert (encoded.input_ids[length:] == vocab.pad_id).all()
+
+    # Truncation never drops [CLS] or either [SEP].
+    assert encoded.input_ids[0] == vocab.cls_id
+    assert encoded.input_ids[length - 1] == vocab.sep_id
+    real = encoded.input_ids[:length]
+    assert (real == vocab.sep_id).sum() == 2
+    assert (real == vocab.cls_id).sum() == 1
+
+    # Segments: 0 through the first [SEP], 1 after it (within real tokens).
+    first_sep = int(np.flatnonzero(real == vocab.sep_id)[0])
+    assert (encoded.segment_ids[: first_sep + 1] == 0).all()
+    assert (encoded.segment_ids[first_sep + 1 : length] == 1).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(word_lists, st.integers(min_value=4, max_value=48))
+def test_encode_single_keeps_specials(tokenizer, word_list, max_length):
+    encoded = tokenizer.encode_single(word_list, max_length=max_length)
+    vocab = tokenizer.vocab
+    length = encoded_length(encoded)
+    assert encoded.input_ids[0] == vocab.cls_id
+    assert encoded.input_ids[length - 1] == vocab.sep_id
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(word_lists, min_size=1, max_size=6),
+    st.randoms(use_true_random=False),
+)
+def test_stack_encoded_is_permutation_equivariant(tokenizer, batches, random):
+    encoded = [tokenizer.encode_pair(ws, ws, max_length=16) for ws in batches]
+    order = list(range(len(encoded)))
+    random.shuffle(order)
+
+    stacked = stack_encoded(encoded)
+    shuffled = stack_encoded([encoded[i] for i in order])
+    np.testing.assert_array_equal(shuffled.input_ids, stacked.input_ids[order])
+    np.testing.assert_array_equal(shuffled.segment_ids, stacked.segment_ids[order])
+    np.testing.assert_array_equal(shuffled.attention_mask, stacked.attention_mask[order])

@@ -1,0 +1,64 @@
+"""Property-based tests for identifier/text tokenisation.
+
+Random identifiers in any naming convention must tokenise without crashing,
+produce canonical lower-case alphanumeric tokens, and be stable under
+re-tokenisation (splitting is idempotent).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    name_and_description_tokens,
+    normalize_identifier,
+    split_identifier,
+    words,
+)
+
+#: Anything a schema column could plausibly be called -- including junk.
+identifiers = st.text(max_size=40)
+#: Identifier-looking strings: the interesting well-formed subset.
+wordy_identifiers = st.from_regex(r"[A-Za-z0-9_.\- ]{0,32}", fullmatch=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(identifiers)
+def test_split_identifier_never_crashes_and_is_canonical(name):
+    tokens = split_identifier(name)
+    for token in tokens:
+        assert token, "no empty tokens"
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.one_of(identifiers, wordy_identifiers))
+def test_split_identifier_is_idempotent(name):
+    tokens = split_identifier(name)
+    assert split_identifier(" ".join(tokens)) == tokens
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.one_of(identifiers, wordy_identifiers))
+def test_normalize_identifier_is_idempotent(name):
+    normalized = normalize_identifier(name)
+    assert normalize_identifier(normalized) == normalized
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=80))
+def test_words_never_crashes_and_is_canonical(text):
+    for token in words(text):
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@settings(max_examples=100, deadline=None)
+@given(identifiers, st.text(max_size=60))
+def test_name_and_description_concatenates(name, description):
+    combined = name_and_description_tokens(name, description)
+    assert combined[: len(split_identifier(name))] == split_identifier(name)
+    if description:
+        assert combined[len(split_identifier(name)) :] == words(description)

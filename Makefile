@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity bench-engine
+.PHONY: verify test parity bench-engine bench-train
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -16,3 +16,7 @@ parity:
 ## Engine perf smoke (tier-2): emits BENCH_engine.json at the repo root.
 bench-engine:
 	$(PYTHON) -m pytest -q benchmarks/test_engine_throughput.py
+
+## Training perf smoke (tier-2): emits BENCH_train.json at the repo root.
+bench-train:
+	$(PYTHON) -m pytest -q benchmarks/test_train_throughput.py

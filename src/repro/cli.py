@@ -19,6 +19,12 @@ Commands
     passes plus one label) and print its per-stage timings and incremental
     re-scoring counters.  ``--fast`` uses tiny artefacts for a quick smoke
     run instead of the full per-vertical pre-training.
+``train stats [--dataset D] [--labels N] [--fast]``
+    Exercise the training fast path: MLM pre-training (when artefacts are
+    built fresh), classifier pre-training, and ``--labels`` incremental
+    human-label updates.  Prints the per-stage training timings, warm/cold
+    optimiser starts and encode-cache counters (see
+    :class:`repro.nn.TrainStats`).
 """
 
 from __future__ import annotations
@@ -219,6 +225,59 @@ def _cmd_engine(args: argparse.Namespace) -> None:
               f"({100.0 * int(skipped) / requested:.0f}%).")
 
 
+def _cmd_train(args: argparse.Namespace) -> None:
+    from .core.artifacts import ArtifactConfig, build_artifacts
+    from .core.config import LsmConfig
+    from .core.matcher import LearnedSchemaMatcher
+    from .nn.stats import TrainStats
+
+    task = load_dataset(args.dataset)
+    mlm_stats = TrainStats()
+    artifact_config = None
+    if args.fast:
+        artifact_config = ArtifactConfig(
+            vocab_size=400,
+            hidden_size=32,
+            num_layers=1,
+            num_heads=2,
+            intermediate_size=64,
+            max_position=32,
+            mlm_epochs=1,
+        )
+    artifacts = build_artifacts(
+        task.target, config=artifact_config, mlm_stats=mlm_stats
+    )
+    config = LsmConfig(update_bert_every=1)  # every label triggers an update
+    matcher = LearnedSchemaMatcher(
+        task.source, task.target, config=config, artifacts=artifacts
+    )
+    try:
+        matcher.predict()
+        for source, target in list(task.ground_truth.items())[: args.labels]:
+            matcher.record_match(source, target)
+            matcher.predict()  # retrains (warm) and re-ranks
+        stats = matcher.train_stats()
+    finally:
+        matcher.close()
+
+    mlm_rows = [[name, str(value)] for name, value in mlm_stats.as_dict().items()]
+    print(render_table(
+        ["counter", "value"],
+        mlm_rows,
+        title=f"MLM pre-training on {args.dataset} "
+        + ("(built fresh)" if mlm_stats.steps else "(artefacts from cache)"),
+    ))
+    rows = [[name, str(value)] for name, value in stats.items()]
+    print(render_table(
+        ["counter", "value"],
+        rows,
+        title=f"Featurizer training on {args.dataset} ({args.labels} label updates)",
+    ))
+    warm = stats.get("warm_starts", 0)
+    cold = stats.get("cold_starts", 0)
+    print(f"Optimiser starts: {warm} warm, {cold} cold.")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Learned Schema Matcher reproduction CLI"
@@ -264,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
     )
     engine.set_defaults(func=_cmd_engine)
+
+    train = subparsers.add_parser("train", help="training fast-path diagnostics")
+    train.add_argument("action", choices=["stats"])
+    train.add_argument("--dataset", choices=ALL_NAMES, default="rdb_star")
+    train.add_argument("--labels", type=int, default=3)
+    train.add_argument(
+        "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
+    )
+    train.set_defaults(func=_cmd_train)
     return parser
 
 

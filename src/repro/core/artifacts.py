@@ -24,6 +24,7 @@ from ..lm.mlm import pretrain_mlm
 from ..lm.tokenizer import WordPieceTokenizer
 from ..lm.vocab import WordPieceVocab, build_vocab
 from ..nn.serialize import load_state_dict, state_dict
+from ..nn.stats import TrainStats
 from ..schema.model import Schema
 from .. import store as cache
 from ..text.corpus import build_corpus
@@ -91,8 +92,14 @@ def build_artifacts(
     config: ArtifactConfig | None = None,
     lexicon: SynonymLexicon | None = None,
     use_cache: bool = True,
+    mlm_stats: TrainStats | None = None,
 ) -> DomainArtifacts:
-    """Build (or load from cache) the per-vertical pre-trained artefacts."""
+    """Build (or load from cache) the per-vertical pre-trained artefacts.
+
+    ``mlm_stats`` (a :class:`repro.nn.TrainStats`) accumulates the MLM
+    pre-training stage timings when the artefacts are built rather than
+    loaded from cache.
+    """
     config = config or ArtifactConfig()
     corpus = build_corpus(
         schemata=[target_schema], lexicon=lexicon, seed=config.seed
@@ -140,6 +147,7 @@ def build_artifacts(
             lr=config.mlm_lr,
             max_length=config.mlm_max_length,
             seed=config.seed,
+            stats=mlm_stats,
         )
         if use_cache:
             cache.save_json("vocab", key, vocab.tokens)

@@ -245,6 +245,17 @@ class LearnedSchemaMatcher:
             payload[f"pipeline.{name}"] = round(seconds, 6)
         return payload
 
+    def train_stats(self) -> dict[str, object]:
+        """Training fast-path counters from the BERT featurizer.
+
+        Step/epoch/sample counts, warm-vs-cold optimiser starts, encode-cache
+        hit rates and per-stage seconds (see :class:`repro.nn.TrainStats`);
+        empty when BERT is disabled.
+        """
+        if self.bert_featurizer is None:
+            return {}
+        return self.bert_featurizer.train_stats.as_dict()
+
     def close(self) -> None:
         """Release featurizer resources (scoring-engine worker pools)."""
         self.pipeline.close()

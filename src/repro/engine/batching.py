@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..lm.tokenizer import EncodedPair, encoded_length, stack_encoded, trim_encoded
 
 
@@ -77,3 +79,26 @@ def plan_microbatches(
 def plan_num_buckets(plan: list[MicroBatch]) -> int:
     """Distinct padded lengths across a plan (for the stats counters)."""
     return len({microbatch.padded_length for microbatch in plan})
+
+
+def plan_training_microbatches(
+    encoded: list[EncodedPair],
+    microbatch_size: int = 32,
+    bucket_granularity: int = 8,
+    rng: np.random.Generator | None = None,
+) -> list[MicroBatch]:
+    """A micro-batch plan for *training*: bucketed, then order-shuffled.
+
+    The inference planner above emits buckets shortest-first, which would
+    feed an optimiser all short sequences before any long ones.  For
+    gradient steps we keep the padding savings but shuffle the execution
+    order of the micro-batches (SGD-style), so consecutive steps mix
+    lengths.  Composition within each micro-batch stays bucketed -- that is
+    where the padding win lives.
+    """
+    plan = plan_microbatches(
+        encoded, microbatch_size=microbatch_size, bucket_granularity=bucket_granularity
+    )
+    if rng is not None and len(plan) > 1:
+        plan = [plan[int(i)] for i in rng.permutation(len(plan))]
+    return plan

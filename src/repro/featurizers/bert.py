@@ -22,11 +22,12 @@ from typing import Sequence
 import numpy as np
 
 from ..lm.bert import MiniBert
-from ..lm.tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
+from ..lm.tokenizer import EncodedPair, WordPieceTokenizer
 from ..nn.activations import relu, relu_backward, sigmoid
 from ..nn.layers import Linear, Module
 from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.optim import Adam, clip_gradients
+from ..nn.stats import TrainStats
 from ..schema.model import Schema
 from ..text.abbrev import expand_tokens
 from ..text.lexicon import SynonymLexicon, default_lexicon
@@ -87,7 +88,8 @@ class MatchingClassifier(Module):
         return scalar_logits + channel_logits
 
     def backward(self, grad_logits: np.ndarray) -> np.ndarray:
-        assert self._relu_cache is not None, "backward before forward"
+        if self._relu_cache is None:
+            raise RuntimeError("MatchingClassifier: backward before forward")
         grad_scalars = self.scalar_path.backward(grad_logits[:, None])
         grad_activated = self.output.backward(grad_logits[:, None])
         grad_hidden = relu_backward(grad_activated, self._relu_cache)
@@ -372,6 +374,14 @@ class BertFeaturizerConfig:
     freeze_token_embeddings: bool = True
     max_grad_norm: float = 1.0
     negatives_per_positive: int = 1
+    #: Length-bucket granularity of the training micro-batch planner (same
+    #: scheme as the scoring engine); batches of mostly-short sentences stop
+    #: paying the full ``max_length`` padding cost.
+    bucket_granularity: int = 8
+    #: Reuse Adam moment state across ``update()`` calls.  Incremental label
+    #: batches then continue the existing optimisation trajectory instead of
+    #: re-estimating the moments from zero every round.
+    warm_updates: bool = True
     seed: int = 0
 
 
@@ -401,6 +411,16 @@ class BertFeaturizer:
         self._iss_samples: list[TrainingSample] = []
         self._human_samples: list[TrainingSample] = []
         self._encoded_cache: dict[tuple, EncodedPair] = {}
+        #: Encoded training samples, persisted across ``update()`` calls --
+        #: incremental updates re-train on overlapping sample sets, so most
+        #: encodings are already known.  TrainingSample is frozen/hashable.
+        self._sample_encodings: dict[TrainingSample, EncodedPair] = {}
+        #: Warm Adam state: (parameter-set signature, optimizer list).  Reused
+        #: by ``_train(warm=True)`` when the trained parameter set matches.
+        self._warm_optimizers: tuple[tuple[frozenset, frozenset], list[Adam]] | None = None
+        #: Per-stage timings and counters of every training pass (pretrain
+        #: and updates); surfaced via ``repro train stats``.
+        self.train_stats = TrainStats()
         #: The batched/parallel/incremental scoring path; all inference goes
         #: through it so cached scores survive predict() calls that did not
         #: change the weights.
@@ -419,9 +439,16 @@ class BertFeaturizer:
     # -- encoding ---------------------------------------------------------------
 
     def _encode_sample(self, sample: TrainingSample) -> EncodedPair:
-        return self.tokenizer.encode_pair(
+        cached = self._sample_encodings.get(sample)
+        if cached is not None:
+            self.train_stats.encode_cache_hits += 1
+            return cached
+        self.train_stats.encode_cache_misses += 1
+        encoded = self.tokenizer.encode_pair(
             list(sample.words_a), list(sample.words_b), max_length=self.config.max_length
         )
+        self._sample_encodings[sample] = encoded
+        return encoded
 
     def _encode_view(self, pair: AttributePairView) -> EncodedPair:
         key = pair.key
@@ -474,10 +501,13 @@ class BertFeaturizer:
             grad_v = grad_v + coeff * u - (
                 grad_cosine * cosine * inv_v**2
             )[:, None] * v
+        # Every operand above is float32 (features, cache arrays and the loss
+        # gradient all follow the model dtype), so grad_hidden is float32
+        # by construction -- no astype needed.
         grad_hidden = (
             cache["mask_a"][..., None] * (grad_u / cache["count_a"])[:, None, :]
             + cache["mask_b"][..., None] * (grad_v / cache["count_b"])[:, None, :]
-        ).astype(np.float32)
+        )
         self.model.backward(grad_hidden=grad_hidden, grad_pooled=grad_pooled)
 
     # -- training ---------------------------------------------------------------
@@ -488,6 +518,7 @@ class BertFeaturizer:
         epochs: int,
         train_channels: bool = True,
         train_encoder: bool | None = None,
+        warm: bool = False,
     ) -> list[float]:
         """Train the classifier (and optionally the encoder) on ``samples``.
 
@@ -495,14 +526,22 @@ class BertFeaturizer:
         schema-only pre-training calibrates just the scalar path (a monotone
         reweighting of the cosine features that cannot corrupt rankings),
         while human-label updates adapt everything.
+
+        With ``warm=True`` the Adam optimisers (moment estimates and step
+        counts) persist across calls training the same parameter set, so
+        incremental ``update()`` rounds continue the optimisation instead of
+        restarting it.  Labels and weights are float32 end to end -- the
+        whole step runs in the model dtype.
         """
         if not samples:
             return []
         if train_encoder is None:
             train_encoder = self.config.finetune_encoder
-        encoded = [self._encode_sample(sample) for sample in samples]
-        labels = np.asarray([sample.label for sample in samples], dtype=np.float64)
-        weights = np.asarray([sample.weight for sample in samples], dtype=np.float64)
+        stats = self.train_stats
+        with stats.timer("encode"):
+            encoded = [self._encode_sample(sample) for sample in samples]
+        labels = np.asarray([sample.label for sample in samples], dtype=np.float32)
+        weights = np.asarray([sample.weight for sample in samples], dtype=np.float32)
 
         channel_parameters: dict = {}
         if train_channels:
@@ -519,34 +558,64 @@ class BertFeaturizer:
                 encoder_parameters.pop("bert.token_embedding.table", None)
             fast_parameters.update(encoder_parameters)
         parameters = {**fast_parameters, **channel_parameters}
-        optimizers = [Adam(fast_parameters, lr=self.config.lr)]
-        if channel_parameters:
-            optimizers.append(
-                Adam(channel_parameters, lr=self.config.lr * self.config.channel_lr_scale)
-            )
+
+        signature = (frozenset(fast_parameters), frozenset(channel_parameters))
+        optimizers: list[Adam] | None = None
+        if warm and self._warm_optimizers is not None:
+            stored_signature, stored_optimizers = self._warm_optimizers
+            if stored_signature == signature:
+                optimizers = stored_optimizers
+                stats.warm_starts += 1
+        if optimizers is None:
+            optimizers = [Adam(fast_parameters, lr=self.config.lr)]
+            if channel_parameters:
+                optimizers.append(
+                    Adam(channel_parameters, lr=self.config.lr * self.config.channel_lr_scale)
+                )
+            stats.cold_starts += 1
+        if warm:
+            self._warm_optimizers = (signature, optimizers)
+
+        # Engine batching helpers; imported lazily like ScoringEngine in
+        # __init__ to keep featurizers importable without the engine package.
+        from ..engine.batching import plan_num_buckets, plan_training_microbatches
 
         self.model.train()
         self.classifier.train()
         losses: list[float] = []
         for _ in range(max(1, epochs)):
+            stats.epochs += 1
             order = self._rng.permutation(len(encoded))
-            for start in range(0, len(encoded), self.config.batch_size):
-                index = order[start : start + self.config.batch_size]
-                batch = stack_encoded([encoded[int(i)] for i in index])
-                features, cache = self._forward_features(batch)
-                logits = self.classifier.forward(features)
+            with stats.timer("bucket"):
+                plan = plan_training_microbatches(
+                    [encoded[int(i)] for i in order],
+                    microbatch_size=self.config.batch_size,
+                    bucket_granularity=self.config.bucket_granularity,
+                    rng=self._rng,
+                )
+            stats.buckets += plan_num_buckets(plan)
+            for microbatch in plan:
+                index = order[list(microbatch.indices)]
+                with stats.timer("forward"):
+                    features, cache = self._forward_features(microbatch.batch)
+                    logits = self.classifier.forward(features)
                 loss, grad_logits = binary_cross_entropy_with_logits(
                     logits, labels[index], weights=weights[index]
                 )
-                for optimizer in optimizers:
-                    optimizer.zero_grad()
-                grad_features = self.classifier.backward(grad_logits)
-                if train_encoder:
-                    self._backward_features(grad_features, cache)
-                clip_gradients(parameters, self.config.max_grad_norm)
-                for optimizer in optimizers:
-                    optimizer.step()
+                with stats.timer("backward"):
+                    for optimizer in optimizers:
+                        optimizer.zero_grad()
+                    grad_features = self.classifier.backward(grad_logits)
+                    if train_encoder:
+                        self._backward_features(grad_features, cache)
+                with stats.timer("optim"):
+                    clip_gradients(parameters, self.config.max_grad_norm)
+                    for optimizer in optimizers:
+                        optimizer.step()
                 losses.append(loss)
+                stats.steps += 1
+                stats.microbatches += 1
+                stats.samples += len(index)
         self.model.eval()
         self.classifier.eval()
         self.engine.invalidate_model()
@@ -651,7 +720,7 @@ class BertFeaturizer:
             budget = min(self.config.iss_subsample_per_update, len(self._iss_samples))
             chosen = self._rng.choice(len(self._iss_samples), size=budget, replace=False)
             mixed.extend(self._iss_samples[int(i)] for i in chosen)
-        self._train(mixed, self.config.update_epochs)
+        self._train(mixed, self.config.update_epochs, warm=self.config.warm_updates)
 
     # -- scoring ---------------------------------------------------------------
 

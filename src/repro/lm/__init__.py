@@ -12,10 +12,17 @@ from .vocab import (
 )
 from .tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
 from .config import BertConfig
-from .attention import MultiHeadSelfAttention
+from .attention import MultiHeadSelfAttention, UnfusedAttentionReference
 from .encoder import TransformerBlock
 from .bert import MiniBert
-from .mlm import IGNORE_INDEX, MlmHead, MlmTrainResult, mask_tokens, pretrain_mlm
+from .mlm import (
+    IGNORE_INDEX,
+    MlmHead,
+    MlmTrainResult,
+    mask_tokens,
+    mask_tokens_with_redraw,
+    pretrain_mlm,
+)
 from . import cache
 
 __all__ = [
@@ -33,11 +40,13 @@ __all__ = [
     "SPECIAL_TOKENS",
     "TransformerBlock",
     "UNK_TOKEN",
+    "UnfusedAttentionReference",
     "WordPieceTokenizer",
     "WordPieceVocab",
     "build_vocab",
     "cache",
     "mask_tokens",
+    "mask_tokens_with_redraw",
     "pretrain_mlm",
     "stack_encoded",
 ]

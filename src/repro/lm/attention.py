@@ -1,15 +1,29 @@
-"""Multi-head self-attention with explicit backward pass."""
+"""Multi-head self-attention with explicit backward pass.
+
+The projection onto queries/keys/values is **fused**: one packed
+``(hidden, 3 * hidden)`` GEMM replaces the three separate per-projection
+GEMMs of the original layout, in forward and backward.  Checkpoints written
+under the old ``query``/``key``/``value`` layout keep loading through
+:meth:`MultiHeadSelfAttention.migrate_state`, which packs them into the
+fused parameter on the fly.  :class:`UnfusedAttentionReference` preserves
+the pre-fusion arithmetic as the parity oracle for tests and the training
+benchmark.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from ..nn.activations import softmax, softmax_backward
-from ..nn.layers import Dropout, Linear, Module
+from ..nn.layers import Dropout, Linear, Module, xavier_uniform
 from .config import BertConfig
 
 #: Additive bias applied to masked (padding) key positions before softmax.
 MASK_BIAS = -1e9
+
+#: Order of the packed projections inside the fused ``qkv`` parameter; also
+#: the legacy child-module names the migration consumes.
+_QKV_NAMES = ("query", "key", "value")
 
 
 class MultiHeadSelfAttention(Module):
@@ -23,10 +37,16 @@ class MultiHeadSelfAttention(Module):
     def __init__(self, config: BertConfig, rng: np.random.Generator) -> None:
         super().__init__()
         self.config = config
-        self.query = self.add_child("query", Linear(config.hidden_size, config.hidden_size, rng))
-        self.key = self.add_child("key", Linear(config.hidden_size, config.hidden_size, rng))
-        self.value = self.add_child("value", Linear(config.hidden_size, config.hidden_size, rng))
-        self.output = self.add_child("output", Linear(config.hidden_size, config.hidden_size, rng))
+        hidden = config.hidden_size
+        # One packed GEMM for Q/K/V.  The three blocks are initialised with
+        # the exact rng draws (order and Xavier fan-in/fan-out) the separate
+        # linears historically used, so fusing changes the arithmetic
+        # layout, not the initial model.
+        packed = np.concatenate(
+            [xavier_uniform(rng, hidden, hidden) for _ in _QKV_NAMES], axis=1
+        )
+        self.qkv = self.add_child("qkv", Linear(hidden, 3 * hidden, weight=packed))
+        self.output = self.add_child("output", Linear(hidden, hidden, rng))
         self.attention_dropout = self.add_child(
             "attention_dropout", Dropout(config.attention_dropout, rng)
         )
@@ -45,7 +65,135 @@ class MultiHeadSelfAttention(Module):
         return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
 
     def forward(self, x: np.ndarray, attention_mask: np.ndarray) -> np.ndarray:
-        scale = 1.0 / np.sqrt(self.config.head_dim)
+        # float(): np.sqrt returns a float64 *numpy* scalar, which under
+        # NumPy-2 promotion would silently lift the whole attention pass
+        # to float64; a python float stays weakly typed.
+        scale = 1.0 / float(np.sqrt(self.config.head_dim))
+        packed = self.qkv.forward(x)  # (B, T, 3D) in one GEMM
+        projected_q, projected_k, projected_v = np.split(packed, 3, axis=-1)
+        queries = self._split_heads(projected_q)
+        keys = self._split_heads(projected_k)
+        values = self._split_heads(projected_v)
+
+        scores = np.matmul(queries, keys.transpose(0, 1, 3, 2)) * scale
+        key_bias = (1.0 - attention_mask[:, None, None, :]) * MASK_BIAS
+        probs = softmax(scores + key_bias, axis=-1)
+        weights = self.attention_dropout.forward(probs)
+
+        context = np.matmul(weights, values)
+        merged = self._merge_heads(context)
+        self._cache = {
+            "queries": queries,
+            "keys": keys,
+            "values": values,
+            "probs": probs,
+            "weights": weights,
+            "scale": np.float32(scale),
+        }
+        return self.output.forward(merged)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("MultiHeadSelfAttention: backward before forward")
+        cache = self._cache
+        queries, keys, values = cache["queries"], cache["keys"], cache["values"]
+        probs, weights = cache["probs"], cache["weights"]
+        scale = float(cache["scale"])
+
+        grad_merged = self.output.backward(grad_output)
+        grad_context = self._split_heads(grad_merged)
+
+        grad_weights = np.matmul(grad_context, values.transpose(0, 1, 3, 2))
+        grad_values = np.matmul(weights.transpose(0, 1, 3, 2), grad_context)
+
+        grad_probs = self.attention_dropout.backward(grad_weights)
+        grad_scores = softmax_backward(grad_probs, probs, axis=-1) * scale
+        # The mask bias is constant w.r.t. inputs; no extra gradient term.
+
+        grad_queries = np.matmul(grad_scores, keys)
+        grad_keys = np.matmul(grad_scores.transpose(0, 1, 3, 2), queries)
+
+        grad_packed = np.concatenate(
+            [
+                self._merge_heads(grad_queries),
+                self._merge_heads(grad_keys),
+                self._merge_heads(grad_values),
+            ],
+            axis=-1,
+        )
+        grad_input = self.qkv.backward(grad_packed)  # one GEMM for dW and dx
+        self._cache = None
+        return grad_input
+
+    # -- checkpoint migration -----------------------------------------------------
+
+    def migrate_state(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        """Pack legacy per-projection ``query``/``key``/``value`` weights.
+
+        Checkpoints written before the QKV fusion carry
+        ``<prefix>query.weight`` etc.; they are concatenated into the fused
+        ``<prefix>qkv.weight``/``bias`` layout in place, so every persisted
+        artefact (``repro.store`` blobs, npz files) keeps loading.
+        """
+        super().migrate_state(state, prefix)
+        legacy_weights = [f"{prefix}{name}.weight" for name in _QKV_NAMES]
+        if f"{prefix}qkv.weight" in state or not all(k in state for k in legacy_weights):
+            return
+        state[f"{prefix}qkv.weight"] = np.concatenate(
+            [state.pop(key) for key in legacy_weights], axis=1
+        )
+        state[f"{prefix}qkv.bias"] = np.concatenate(
+            [state.pop(f"{prefix}{name}.bias") for name in _QKV_NAMES], axis=0
+        )
+
+
+class UnfusedAttentionReference(Module):
+    """The pre-fusion attention arithmetic: three separate Q/K/V GEMMs.
+
+    Built from a fused :class:`MultiHeadSelfAttention` by unpacking its
+    ``qkv`` parameter into per-projection linears.  Exists as the in-repo
+    oracle that (a) the fused layout computes identical values and gradients
+    (``tests/lm/test_attention_fused.py``) and (b) the training benchmark
+    can measure what fusing is worth (``benchmarks/test_train_throughput.py``).
+    """
+
+    def __init__(self, fused: MultiHeadSelfAttention) -> None:
+        super().__init__()
+        self.config = fused.config
+        hidden = fused.config.hidden_size
+        for index, name in enumerate(_QKV_NAMES):
+            block = slice(index * hidden, (index + 1) * hidden)
+            linear = Linear(hidden, hidden, weight=fused.qkv.weight.value[:, block].copy())
+            linear.bias.value[...] = fused.qkv.bias.value[block]
+            self.add_child(name, linear)
+        output = Linear(hidden, hidden, weight=fused.output.weight.value.copy())
+        output.bias.value[...] = fused.output.bias.value
+        self.output = self.add_child("output", output)
+        self.attention_dropout = self.add_child(
+            "attention_dropout", Dropout(fused.config.attention_dropout, np.random.default_rng(0))
+        )
+        self._cache: dict[str, np.ndarray] | None = None
+
+    @property
+    def query(self) -> Linear:
+        return self._children["query"]  # type: ignore[return-value]
+
+    @property
+    def key(self) -> Linear:
+        return self._children["key"]  # type: ignore[return-value]
+
+    @property
+    def value(self) -> Linear:
+        return self._children["value"]  # type: ignore[return-value]
+
+    _split_heads = MultiHeadSelfAttention._split_heads
+    _merge_heads = MultiHeadSelfAttention._merge_heads
+
+    def forward(self, x: np.ndarray, attention_mask: np.ndarray) -> np.ndarray:
+        # float(): np.sqrt returns a float64 *numpy* scalar, which under
+        # NumPy-2 promotion would silently lift the whole attention pass
+        # to float64; a python float stays weakly typed.
+        scale = 1.0 / float(np.sqrt(self.config.head_dim))
         queries = self._split_heads(self.query.forward(x))
         keys = self._split_heads(self.key.forward(x))
         values = self._split_heads(self.value.forward(x))
@@ -68,7 +216,8 @@ class MultiHeadSelfAttention(Module):
         return self.output.forward(merged)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        assert self._cache is not None, "backward before forward"
+        if self._cache is None:
+            raise RuntimeError("UnfusedAttentionReference: backward before forward")
         cache = self._cache
         queries, keys, values = cache["queries"], cache["keys"], cache["values"]
         probs, weights = cache["probs"], cache["weights"]
@@ -82,7 +231,6 @@ class MultiHeadSelfAttention(Module):
 
         grad_probs = self.attention_dropout.backward(grad_weights)
         grad_scores = softmax_backward(grad_probs, probs, axis=-1) * scale
-        # The mask bias is constant w.r.t. inputs; no extra gradient term.
 
         grad_queries = np.matmul(grad_scores, keys)
         grad_keys = np.matmul(grad_scores.transpose(0, 1, 3, 2), queries)
@@ -92,3 +240,13 @@ class MultiHeadSelfAttention(Module):
         grad_input = grad_input + self.value.backward(self._merge_heads(grad_values))
         self._cache = None
         return grad_input
+
+    def packed_qkv_grads(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-projection grads packed into the fused layout (for parity tests)."""
+        weight = np.concatenate(
+            [self._children[name].weight.grad for name in _QKV_NAMES], axis=1
+        )
+        bias = np.concatenate(
+            [self._children[name].bias.grad for name in _QKV_NAMES], axis=0
+        )
+        return weight, bias

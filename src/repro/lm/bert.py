@@ -108,12 +108,14 @@ class MiniBert(Module):
         ``grad_hidden`` matches the per-token hidden states (MLM head);
         ``grad_pooled`` matches the pooled [CLS] output (matching classifier).
         """
-        assert self._seq_len is not None, "backward before forward"
+        if self._seq_len is None:
+            raise RuntimeError("MiniBert: backward before forward")
         if grad_hidden is None and grad_pooled is None:
             raise ValueError("at least one of grad_hidden/grad_pooled is required")
 
         if grad_pooled is not None:
-            assert self._pooler_cache is not None
+            if self._pooler_cache is None:
+                raise RuntimeError("MiniBert: pooled backward before forward")
             grad_pooled_raw = tanh_backward(grad_pooled, self._pooler_cache)
             grad_cls = self.pooler.backward(grad_pooled_raw)
             if grad_hidden is None:

@@ -42,7 +42,8 @@ class TransformerBlock(Module):
         return self.ffn_norm.forward(x + projected)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        assert self._gelu_cache is not None, "backward before forward"
+        if self._gelu_cache is None:
+            raise RuntimeError("TransformerBlock: backward before forward")
         grad_residual = self.ffn_norm.backward(grad_output)
         grad_projected = self.ffn_dropout.backward(grad_residual)
         grad_activated = self.ffn_output.backward(grad_projected)

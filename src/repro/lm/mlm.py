@@ -20,12 +20,17 @@ import numpy as np
 from ..nn.layers import Linear, Module
 from ..nn.losses import softmax_cross_entropy
 from ..nn.optim import Adam, clip_gradients
+from ..nn.stats import TrainStats
 from .bert import MiniBert
 from .config import BertConfig
-from .tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
+from .tokenizer import EncodedPair, WordPieceTokenizer
 from .vocab import WordPieceVocab
 
 IGNORE_INDEX = -100
+
+#: How many fresh Bernoulli draws :func:`mask_tokens_with_redraw` attempts
+#: before force-masking a single maskable position.
+MAX_MASK_REDRAWS = 4
 
 
 class MlmHead(Module):
@@ -82,6 +87,55 @@ def mask_tokens(
     )
 
 
+def mask_tokens_with_redraw(
+    batch: EncodedPair,
+    vocab: WordPieceVocab,
+    rng: np.random.Generator,
+    mask_probability: float = 0.15,
+    stats: TrainStats | None = None,
+) -> tuple[EncodedPair, np.ndarray] | None:
+    """:func:`mask_tokens`, retried until at least one position is masked.
+
+    With small batches (tiny corpora, the tail chunk of an epoch) the
+    Bernoulli draw frequently selects *nothing*, and the old training loop
+    silently dropped the batch -- those samples never produced a gradient.
+    Here the mask is re-drawn up to :data:`MAX_MASK_REDRAWS` times; if the
+    draw still comes up empty, one maskable position is force-masked so the
+    batch always trains.  Returns ``None`` only when the batch contains no
+    maskable token at all (all-special/padding).
+    """
+    masked, labels = mask_tokens(batch, vocab, rng, mask_probability)
+    redraws = 0
+    while not (labels != IGNORE_INDEX).any() and redraws < MAX_MASK_REDRAWS:
+        redraws += 1
+        masked, labels = mask_tokens(batch, vocab, rng, mask_probability)
+    if stats is not None:
+        stats.mask_redraws += redraws
+    if (labels != IGNORE_INDEX).any():
+        return masked, labels
+
+    special = np.isin(batch.input_ids, sorted(vocab.special_ids()))
+    maskable = (~special) & (batch.attention_mask == 1)
+    positions = np.argwhere(maskable)
+    if positions.shape[0] == 0:
+        if stats is not None:
+            stats.unmaskable_batches += 1
+        return None
+    row, col = positions[int(rng.integers(positions.shape[0]))]
+    input_ids = batch.input_ids.copy()
+    labels = np.full_like(input_ids, IGNORE_INDEX)
+    labels[row, col] = input_ids[row, col]
+    input_ids[row, col] = vocab.mask_id
+    return (
+        EncodedPair(
+            input_ids=input_ids,
+            segment_ids=batch.segment_ids,
+            attention_mask=batch.attention_mask,
+        ),
+        labels,
+    )
+
+
 @dataclass
 class MlmTrainResult:
     """Diagnostics of a pre-training run."""
@@ -104,45 +158,81 @@ def pretrain_mlm(
     max_length: int = 32,
     seed: int = 0,
     max_grad_norm: float = 1.0,
+    mask_probability: float = 0.15,
+    bucket_granularity: int = 8,
+    stats: TrainStats | None = None,
 ) -> MlmTrainResult:
-    """Run MLM pre-training over the corpus; mutates ``model`` in place."""
+    """Run MLM pre-training over the corpus; mutates ``model`` in place.
+
+    Batches are length-bucketed (same planner as the scoring engine), so a
+    corpus of mostly-short attribute names no longer pads every row to
+    ``max_length``; micro-batch execution order is shuffled each epoch.
+    ``stats`` accumulates per-stage timings and masking counters.
+    """
+    if stats is None:
+        stats = TrainStats()
     rng = np.random.default_rng(seed)
     head_rng = np.random.default_rng(seed + 1)
     head = MlmHead(model.config, head_rng)
     parameters = {**model.parameters("bert."), **head.parameters("head.")}
     optimizer = Adam(parameters, lr=lr)
 
-    encoded = [
-        tokenizer.encode_single(list(sentence), max_length=max_length)
-        for sentence in corpus
-        if sentence
-    ]
+    with stats.timer("encode"):
+        encoded = [
+            tokenizer.encode_single(list(sentence), max_length=max_length)
+            for sentence in corpus
+            if sentence
+        ]
     if not encoded:
         raise ValueError("corpus is empty")
+
+    # Imported here to keep repro.lm free of an engine dependency at import
+    # time (engine.batching itself imports from repro.lm.tokenizer).
+    from ..engine.batching import plan_num_buckets, plan_training_microbatches
 
     model.train()
     head.train()
     losses: list[float] = []
     steps = 0
     for _ in range(epochs):
-        order = rng.permutation(len(encoded))
-        for start in range(0, len(encoded), batch_size):
-            chunk = [encoded[int(i)] for i in order[start : start + batch_size]]
-            batch = stack_encoded(chunk)
-            masked, labels = mask_tokens(batch, tokenizer.vocab, rng)
-            if not (labels != IGNORE_INDEX).any():
+        stats.epochs += 1
+        with stats.timer("bucket"):
+            plan = plan_training_microbatches(
+                encoded,
+                microbatch_size=batch_size,
+                bucket_granularity=bucket_granularity,
+                rng=rng,
+            )
+        stats.buckets += plan_num_buckets(plan)
+        for microbatch in plan:
+            with stats.timer("mask"):
+                drawn = mask_tokens_with_redraw(
+                    microbatch.batch,
+                    tokenizer.vocab,
+                    rng,
+                    mask_probability,
+                    stats=stats,
+                )
+            if drawn is None:
                 continue
-            hidden, _ = model.forward(masked)
-            logits = head.forward(hidden)
+            masked, labels = drawn
+            with stats.timer("forward"):
+                hidden, _ = model.forward(masked)
+                logits = head.forward(hidden)
             loss, grad_logits = softmax_cross_entropy(
                 logits, labels, ignore_index=IGNORE_INDEX
             )
-            optimizer.zero_grad()
-            grad_hidden = head.backward(grad_logits)
-            model.backward(grad_hidden=grad_hidden)
-            clip_gradients(parameters, max_grad_norm)
-            optimizer.step()
+            with stats.timer("backward"):
+                optimizer.zero_grad()
+                grad_hidden = head.backward(grad_logits)
+                model.backward(grad_hidden=grad_hidden)
+            with stats.timer("optim"):
+                clip_gradients(parameters, max_grad_norm)
+                optimizer.step()
             losses.append(loss)
             steps += 1
+            stats.steps += 1
+            stats.microbatches += 1
+            stats.samples += int(masked.input_ids.shape[0])
     model.eval()
     return MlmTrainResult(losses=losses, steps=steps)

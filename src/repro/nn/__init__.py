@@ -26,6 +26,7 @@ from .activations import (
 from .losses import binary_cross_entropy_with_logits, softmax_cross_entropy
 from .optim import SGD, Adam, Optimizer, clip_gradients
 from .serialize import load_module, load_state_dict, save_module, state_dict
+from .stats import TrainStats
 
 __all__ = [
     "Adam",
@@ -54,6 +55,7 @@ __all__ = [
     "softmax_backward",
     "softmax_cross_entropy",
     "state_dict",
+    "TrainStats",
     "tanh",
     "tanh_backward",
     "xavier_uniform",

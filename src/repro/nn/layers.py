@@ -37,6 +37,12 @@ class Parameter:
         self.grad.fill(0.0)
 
 
+def _require_forward(cache: object, layer: str) -> None:
+    """Fail loudly (even under ``python -O``) when backward precedes forward."""
+    if cache is None:
+        raise RuntimeError(f"{layer}: backward before forward")
+
+
 class Module:
     """Base class: parameter registry plus train/eval mode flag."""
 
@@ -80,6 +86,17 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.value.size for p in self.parameters().values())
 
+    def migrate_state(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        """Upgrade legacy checkpoint layouts in ``state``, in place.
+
+        ``load_state_dict`` calls this before validating names, so modules
+        whose parameter layout changed (e.g. the fused-QKV attention) can
+        translate checkpoints written under the old layout.  The base
+        implementation only recurses into children.
+        """
+        for child_name, child in self._children.items():
+            child.migrate_state(state, prefix=f"{prefix}{child_name}.")
+
 
 def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
@@ -93,26 +110,55 @@ def normal_init(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0
 
 
 class Linear(Module):
-    """Affine layer ``y = x @ W + b`` for inputs of shape (..., fan_in)."""
+    """Affine layer ``y = x @ W + b`` for inputs of shape (..., fan_in).
 
-    def __init__(self, fan_in: int, fan_out: int, rng: np.random.Generator) -> None:
+    ``weight`` overrides the Xavier initialisation with a caller-built
+    matrix -- the fused-QKV attention packs three per-block Xavier draws
+    into one so fusing changes the GEMM layout, not the initial weights.
+    """
+
+    def __init__(
+        self,
+        fan_in: int,
+        fan_out: int,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+    ) -> None:
         super().__init__()
         self.fan_in = fan_in
         self.fan_out = fan_out
-        self.weight = self.register("weight", xavier_uniform(rng, fan_in, fan_out))
+        if weight is None:
+            if rng is None:
+                raise ValueError("Linear needs an rng when no initial weight is given")
+            weight = xavier_uniform(rng, fan_in, fan_out)
+        elif weight.shape != (fan_in, fan_out):
+            raise ValueError(
+                f"initial weight shape {weight.shape} != ({fan_in}, {fan_out})"
+            )
+        self.weight = self.register("weight", weight)
         self.bias = self.register("bias", np.zeros(fan_out, dtype=DTYPE))
         self._input: np.ndarray | None = None
+        #: Reusable workspace for the weight-gradient GEMM, so every training
+        #: step after the first is allocation-free on the (fan_in, fan_out)
+        #: product (the bulk of backward's memory traffic).
+        self._grad_weight_buffer: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._input = x
         return x @ self.weight.value + self.bias.value
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        assert self._input is not None, "backward before forward"
+        _require_forward(self._input, "Linear")
         x = self._input
         flat_x = x.reshape(-1, self.fan_in)
         flat_grad = grad_output.reshape(-1, self.fan_out)
-        self.weight.grad += flat_x.T @ flat_grad
+        if flat_x.dtype == flat_grad.dtype == self.weight.grad.dtype:
+            if self._grad_weight_buffer is None:
+                self._grad_weight_buffer = np.empty_like(self.weight.grad)
+            np.matmul(flat_x.T, flat_grad, out=self._grad_weight_buffer)
+            self.weight.grad += self._grad_weight_buffer
+        else:  # mixed-dtype caller: np.matmul(out=) would reject the cast
+            self.weight.grad += flat_x.T @ flat_grad
         self.bias.grad += flat_grad.sum(axis=0)
         grad_input = grad_output @ self.weight.value.T
         self._input = None
@@ -134,7 +180,7 @@ class Embedding(Module):
         return self.table.value[self._ids]
 
     def backward(self, grad_output: np.ndarray) -> None:
-        assert self._ids is not None, "backward before forward"
+        _require_forward(self._ids, "Embedding")
         flat_ids = self._ids.reshape(-1)
         flat_grad = grad_output.reshape(-1, self.dim)
         np.add.at(self.table.grad, flat_ids, flat_grad)
@@ -161,7 +207,7 @@ class LayerNorm(Module):
         return normalised * self.gamma.value + self.beta.value
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        assert self._cache is not None, "backward before forward"
+        _require_forward(self._cache, "LayerNorm")
         normalised, inv_std, _ = self._cache
         axes = tuple(range(grad_output.ndim - 1))
         self.gamma.grad += (grad_output * normalised).sum(axis=axes)

@@ -27,32 +27,38 @@ def softmax_cross_entropy(
     targets: integer class ids, shape ``(...)``.
     ignore_index: target value to exclude from the mean (MLM's unmasked slots).
     weights: optional per-sample weights broadcastable to ``targets``.
+
+    All array work stays in the logits' dtype (float32 for every model in
+    this repo; the stable shifted log-softmax does not need float64); only
+    the scalar reductions accumulate in float64.
     """
-    flat_logits = logits.reshape(-1, logits.shape[-1]).astype(np.float64)
+    dtype = np.dtype(
+        logits.dtype if np.issubdtype(logits.dtype, np.floating) else np.float64
+    )
+    flat_logits = logits.reshape(-1, logits.shape[-1])
     flat_targets = np.asarray(targets).reshape(-1)
     sample_weights = (
-        np.ones(flat_targets.shape[0], dtype=np.float64)
+        np.ones(flat_targets.shape[0], dtype=dtype)
         if weights is None
-        else np.asarray(weights, dtype=np.float64).reshape(-1)
+        else np.asarray(weights, dtype=dtype).reshape(-1)
     )
     if ignore_index is not None:
         sample_weights = sample_weights * (flat_targets != ignore_index)
         # Clamp ignored ids so they index validly; their weight is zero.
         flat_targets = np.where(flat_targets == ignore_index, 0, flat_targets)
 
-    total_weight = sample_weights.sum()
+    total_weight = float(sample_weights.sum(dtype=np.float64))
     log_probs = log_softmax(flat_logits, axis=-1)
     rows = np.arange(flat_targets.shape[0])
     picked = log_probs[rows, flat_targets]
     if total_weight == 0.0:
         return 0.0, np.zeros_like(logits)
-    loss = float(-(picked * sample_weights).sum() / total_weight)
+    loss = float(-(picked * sample_weights).sum(dtype=np.float64) / total_weight)
 
-    probs = np.exp(log_probs)
-    grad = probs
+    grad = np.exp(log_probs)
     grad[rows, flat_targets] -= 1.0
-    grad *= (sample_weights / total_weight)[:, None]
-    return loss, grad.reshape(logits.shape).astype(logits.dtype)
+    grad *= (sample_weights / dtype.type(total_weight))[:, None]
+    return loss, grad.reshape(logits.shape)
 
 
 def binary_cross_entropy_with_logits(
@@ -60,25 +66,34 @@ def binary_cross_entropy_with_logits(
     targets: np.ndarray,
     weights: np.ndarray | None = None,
 ) -> tuple[float, np.ndarray]:
-    """Mean binary cross-entropy on raw logits (stable log-sum-exp form)."""
-    flat_logits = np.asarray(logits, dtype=np.float64).reshape(-1)
-    flat_targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    """Mean binary cross-entropy on raw logits (stable log-sum-exp form).
+
+    Computes in the logits' floating dtype (float32 for the matching
+    classifier) with float64 scalar accumulation, so a float32 training step
+    never materialises float64 intermediates.
+    """
+    array_logits = np.asarray(logits)
+    dtype = np.dtype(
+        array_logits.dtype
+        if np.issubdtype(array_logits.dtype, np.floating)
+        else np.float64
+    )
+    flat_logits = array_logits.reshape(-1).astype(dtype, copy=False)
+    flat_targets = np.asarray(targets, dtype=dtype).reshape(-1)
     sample_weights = (
         np.ones_like(flat_targets)
         if weights is None
-        else np.asarray(weights, dtype=np.float64).reshape(-1)
+        else np.asarray(weights, dtype=dtype).reshape(-1)
     )
-    total_weight = sample_weights.sum()
+    total_weight = float(sample_weights.sum(dtype=np.float64))
     if total_weight == 0.0:
-        return 0.0, np.zeros_like(logits)
+        return 0.0, np.zeros_like(array_logits, dtype=dtype)
 
     # loss_i = max(z,0) - z*t + log(1 + exp(-|z|))
     z = flat_logits
     per_sample = np.maximum(z, 0.0) - z * flat_targets + np.log1p(np.exp(-np.abs(z)))
-    loss = float((per_sample * sample_weights).sum() / total_weight)
+    loss = float((per_sample * sample_weights).sum(dtype=np.float64) / total_weight)
 
     probs = sigmoid(z)
-    grad = (probs - flat_targets) * sample_weights / total_weight
-    return loss, grad.reshape(np.shape(logits)).astype(
-        logits.dtype if hasattr(logits, "dtype") else np.float64
-    )
+    grad = (probs - flat_targets) * sample_weights / dtype.type(total_weight)
+    return loss, grad.reshape(np.shape(logits)).astype(dtype, copy=False)

@@ -14,7 +14,11 @@ def clip_gradients(parameters: dict[str, Parameter], max_norm: float) -> float:
     """
     total = 0.0
     for parameter in parameters.values():
-        total += float(np.sum(parameter.grad.astype(np.float64) ** 2))
+        grad = parameter.grad.ravel()
+        # vdot accumulates each parameter's square-sum without the float64
+        # copy the old astype path allocated every step; the per-parameter
+        # partial sums are still combined in float64.
+        total += float(np.vdot(grad, grad))
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
@@ -70,7 +74,15 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with decoupled weight decay (AdamW-style), BERT's optimiser."""
+    """Adam with decoupled weight decay (AdamW-style), BERT's optimiser.
+
+    Moment and workspace buffers are allocated once per parameter and
+    updated in place, so a training step performs zero array allocations
+    after the first -- the retrain-after-every-label loop hits this path
+    constantly.  The moment dicts persist for the optimiser's lifetime,
+    which is what lets :class:`repro.featurizers.bert.BertFeaturizer` keep
+    a warm optimiser across ``update()`` calls.
+    """
 
     def __init__(
         self,
@@ -87,6 +99,7 @@ class Adam(Optimizer):
         self._step_count = 0
         self._first_moment: dict[str, np.ndarray] = {}
         self._second_moment: dict[str, np.ndarray] = {}
+        self._workspace: dict[str, np.ndarray] = {}
 
     def step(self) -> None:
         self._step_count += 1
@@ -95,18 +108,31 @@ class Adam(Optimizer):
     def _update(self, name: str, parameter: Parameter) -> None:
         grad = parameter.grad
         m = self._first_moment.get(name)
-        v = self._second_moment.get(name)
         if m is None:
-            m = np.zeros_like(parameter.value)
-            v = np.zeros_like(parameter.value)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        self._first_moment[name] = m
-        self._second_moment[name] = v
+            m = self._first_moment[name] = np.zeros_like(parameter.value)
+            self._second_moment[name] = np.zeros_like(parameter.value)
+            self._workspace[name] = np.empty_like(parameter.value)
+        v = self._second_moment[name]
+        buffer = self._workspace[name]
 
-        m_hat = m / (1.0 - self.beta1**self._step_count)
-        v_hat = v / (1.0 - self.beta2**self._step_count)
-        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        # m += (1 - beta1) * (grad - m)  ==  beta1 * m + (1 - beta1) * grad
+        np.subtract(grad, m, out=buffer)
+        buffer *= 1.0 - self.beta1
+        m += buffer
+        # v += (1 - beta2) * (grad^2 - v)
+        np.multiply(grad, grad, out=buffer)
+        buffer -= v
+        buffer *= 1.0 - self.beta2
+        v += buffer
+
+        # update = m_hat / (sqrt(v_hat) + eps), computed entirely in `buffer`.
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        np.sqrt(v, out=buffer)
+        buffer *= 1.0 / np.sqrt(bias2)
+        buffer += self.eps
+        np.divide(m, buffer, out=buffer)
+        buffer *= self.lr / bias1
         if self.weight_decay > 0.0 and not name.endswith(("bias", "beta", "gamma")):
-            update = update + self.weight_decay * parameter.value
-        parameter.value -= self.lr * update
+            parameter.value *= 1.0 - self.lr * self.weight_decay
+        parameter.value -= buffer

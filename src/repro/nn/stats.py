@@ -1,0 +1,87 @@
+"""Per-stage timing counters of the training fast path.
+
+The mirror image of :class:`repro.engine.stats.EngineStats` for the other
+half of the latency budget: every expensive step of a training pass
+(encoding, masking, bucket planning, forward, backward, optimiser) runs
+under a named :meth:`TrainStats.timer` block, and structural decisions
+(mask re-draws, warm vs cold optimiser starts, encode-cache hits) increment
+counters.  ``repro train stats`` renders them for humans; the fast-path
+tests assert on them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TrainStats:
+    """Counters and stage timings accumulated across training passes."""
+
+    #: Optimiser steps executed (mini-batches that reached ``step()``).
+    steps: int = 0
+    #: Passes over the training set.
+    epochs: int = 0
+    #: Sample rows pushed through forward+backward (sum of batch sizes).
+    samples: int = 0
+    #: Length-bucketed micro-batches executed.
+    microbatches: int = 0
+    #: Distinct padded-length buckets across all epochs.
+    buckets: int = 0
+    #: MLM mask draws that were repeated because they masked nothing.
+    mask_redraws: int = 0
+    #: Batches with no maskable token at all (skipped, cannot train).
+    unmaskable_batches: int = 0
+    #: Training-sample encodings served from the featurizer's cache.
+    encode_cache_hits: int = 0
+    #: Training-sample encodings computed fresh.
+    encode_cache_misses: int = 0
+    #: ``update()`` runs that reused persisted Adam moment state.
+    warm_starts: int = 0
+    #: Optimiser (re)initialisations from scratch.
+    cold_starts: int = 0
+    #: Wall-clock seconds per named stage.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Invocations per named stage.
+    stage_calls: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the enclosed block under ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + elapsed
+            self.stage_calls[stage] = self.stage_calls.get(stage, 0) + 1
+
+    def add_time(self, stage: str, seconds: float, calls: int = 1) -> None:
+        """Fold externally measured time into the stats."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.stage_calls[stage] = self.stage_calls.get(stage, 0) + calls
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat snapshot: counters plus ``time.<stage>`` seconds."""
+        payload: dict[str, object] = {
+            name: getattr(self, name)
+            for name in (
+                "steps",
+                "epochs",
+                "samples",
+                "microbatches",
+                "buckets",
+                "mask_redraws",
+                "unmaskable_batches",
+                "encode_cache_hits",
+                "encode_cache_misses",
+                "warm_starts",
+                "cold_starts",
+            )
+        }
+        for stage in sorted(self.stage_seconds):
+            payload[f"time.{stage}"] = round(self.stage_seconds[stage], 6)
+        return payload

@@ -177,7 +177,7 @@ class TestMiniBert:
         model.zero_grad()
         model.backward(grad_pooled=pooled.copy())
         parameters = model.parameters()
-        for name in ("token_embedding.table", "block1.attention.key.weight", "pooler.bias"):
+        for name in ("token_embedding.table", "block1.attention.qkv.weight", "pooler.bias"):
             parameter = parameters[name]
             # Pick a token id actually present so the embedding grad is nonzero.
             index = (int(batch.input_ids[0, 1]), 0) if "table" in name else (

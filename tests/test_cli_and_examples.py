@@ -22,6 +22,16 @@ class TestCli:
         args = parser.parse_args(["session", "customer_a", "--noise", "0.2"])
         assert args.noise == 0.2
 
+    def test_train_stats_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "stats", "--fast", "--labels", "2"])
+        assert args.command == "train"
+        assert args.action == "stats"
+        assert args.fast and args.labels == 2
+        assert args.dataset == "rdb_star"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "bogus"])
+
     def test_unknown_dataset_rejected(self):
         parser = build_parser()
         with pytest.raises(SystemExit):

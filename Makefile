@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity bench-engine bench-train
+.PHONY: verify test parity bench-engine bench-train trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -20,3 +20,8 @@ bench-engine:
 ## Training perf smoke (tier-2): emits BENCH_train.json at the repo root.
 bench-train:
 	$(PYTHON) -m pytest -q benchmarks/test_train_throughput.py
+
+## Observability smoke (tier-2): traced session on customer A, NDJSON
+## well-formedness + iteration parity + `repro trace summarize` rendering.
+trace-smoke:
+	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_trace_smoke.py

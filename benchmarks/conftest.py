@@ -13,6 +13,10 @@ Scale knobs (environment variables):
 ``REPRO_TRIALS=<n>``
     Number of independent trials for accuracy experiments (default 5 in the
     library; the benchmarks default to 3 unless overridden).
+``REPRO_SKIP_WARM=1``
+    Skip the up-front full-scale artefact warm-up.  Set by targets that only
+    run cheap smokes (``make trace-smoke``) and build their own tiny
+    artefacts.
 """
 
 from __future__ import annotations
@@ -48,6 +52,9 @@ def interactive_customers() -> list[str]:
 @pytest.fixture(scope="session", autouse=True)
 def _warm_artifacts():
     """Build the per-vertical artefacts once up front (cached on disk)."""
+    if os.environ.get("REPRO_SKIP_WARM"):
+        yield
+        return
     from repro.datasets import load_dataset
     from repro.eval.experiments import artifacts_for
 

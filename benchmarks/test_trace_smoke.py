@@ -1,0 +1,118 @@
+"""Trace smoke: a traced interactive session on a real dataset.
+
+Runs a short ``MatchingSession`` on customer A with ``LsmConfig.trace_path``
+set, then closes the loop the way a user debugging a session would: load the
+NDJSON back, check it is well-formed (meta header, span/event body, metrics
+and summary tail), assert the per-iteration spans reproduce the session's
+``IterationRecord`` numbers exactly, and render it with
+``repro trace summarize``.
+
+Deliberately cheap: tiny artefacts, one pre-training epoch and three
+iterations -- the point is the tracing contract, not model quality.  Run via
+``make trace-smoke`` (sets ``REPRO_SKIP_WARM=1`` so the full-scale artefact
+warm-up in ``conftest.py`` is skipped).
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from contextlib import redirect_stdout
+from dataclasses import asdict
+
+from conftest import register_report
+
+from repro import cli, obs
+from repro.core import (
+    ArtifactConfig,
+    GroundTruthOracle,
+    LearnedSchemaMatcher,
+    LsmConfig,
+    MatchingSession,
+    build_artifacts,
+)
+from repro.datasets import load_dataset
+from repro.embeddings.ppmi import PpmiConfig
+from repro.featurizers.bert import BertFeaturizerConfig
+
+#: customer_a: full ground-truth coverage, so the oracle can answer any
+#: source the selection strategy picks.
+DATASET = "customer_a"
+MAX_ITERATIONS = 3
+
+TINY_ARTIFACTS = ArtifactConfig(
+    vocab_size=400,
+    hidden_size=32,
+    num_layers=1,
+    num_heads=2,
+    intermediate_size=64,
+    max_position=32,
+    mlm_epochs=1,
+    mlm_batch_size=16,
+    ppmi=PpmiConfig(dim=24),
+    seed=0,
+)
+
+
+def test_traced_session_smoke(tmp_path):
+    task = load_dataset(DATASET)
+    artifacts = build_artifacts(task.target, config=TINY_ARTIFACTS)
+    trace_path = tmp_path / "session.ndjson"
+    config = LsmConfig(
+        trace_path=str(trace_path),
+        max_candidates_per_source=60,
+        bert=BertFeaturizerConfig(
+            max_length=24, pretrain_epochs=1, update_epochs=1, batch_size=16, seed=0
+        ),
+        seed=0,
+    )
+    matcher = LearnedSchemaMatcher(
+        task.source, task.target, config=config, artifacts=artifacts
+    )
+    oracle = GroundTruthOracle(task.ground_truth, task.target)
+
+    start = time.perf_counter()
+    session = MatchingSession(matcher, oracle, max_iterations=MAX_ITERATIONS).run()
+    matcher.close()
+    elapsed = time.perf_counter() - start
+
+    # Well-formed NDJSON: load_trace raises TraceError on any malformed line.
+    records = obs.load_trace(trace_path)
+    kinds = [record["kind"] for record in records]
+    assert kinds[0] == "meta"
+    assert kinds[-1] == "summary"
+    assert "metrics" in kinds
+
+    summary = obs.summarize_trace(records)
+    assert summary.num_spans > 0
+    assert summary.invariant_violations == 0
+
+    # The acceptance bar: iteration spans reproduce IterationRecord exactly.
+    assert len(summary.iterations) == len(session.records) == MAX_ITERATIONS
+    for row, record in zip(summary.iterations, session.records):
+        expected = asdict(record)
+        assert {key: row[key] for key in expected} == expected
+
+    stages = {stage.name for stage in summary.stages}
+    assert {"session.run", "session.iteration", "lsm.predict", "engine.score"} <= stages
+    assert summary.metrics is not None
+    assert {key.split(".", 1)[0] for key in summary.metrics} >= {"engine", "store"}
+
+    # The CLI renderer must consume the same file without error.
+    rendered = io.StringIO()
+    with redirect_stdout(rendered):
+        cli.main(["trace", "summarize", str(trace_path)])
+    assert "Span totals" in rendered.getvalue()
+
+    register_report(
+        "\n".join(
+            [
+                f"Trace smoke -- {DATASET}, {MAX_ITERATIONS} iterations "
+                f"in {elapsed:.1f}s",
+                f"  records={len(records)} spans={summary.num_spans} "
+                f"events={summary.num_events}",
+                f"  trace renders via `repro trace summarize` "
+                f"({len(rendered.getvalue().splitlines())} lines)",
+            ]
+        )
+    )

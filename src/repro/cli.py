@@ -25,6 +25,10 @@ Commands
     human-label updates.  Prints the per-stage training timings, warm/cold
     optimiser starts and encode-cache counters (see
     :class:`repro.nn.TrainStats`).
+``trace summarize TRACE``
+    Render an NDJSON trace (``repro session --trace`` or
+    ``LsmConfig.trace_path``): the per-iteration session table, per-stage
+    span totals, invariant violations and the final metrics snapshot.
 """
 
 from __future__ import annotations
@@ -107,6 +111,7 @@ def _cmd_session(args: argparse.Namespace) -> None:
         seed=args.seed,
         noise_rate=args.noise,
         selection_strategy=args.strategy,
+        trace_path=args.trace,
     )
     xs, ys = session.curve()
     print(f"Interactive session on {args.dataset} "
@@ -117,6 +122,62 @@ def _cmd_session(args: argparse.Namespace) -> None:
     print(f"Total labels: {session.total_labels} "
           f"({session.label_fraction_used:.0%} of attributes; "
           f"{saving:.0f}% saved vs manual labeling)")
+    if args.trace:
+        print(f"Trace written to {args.trace} "
+              f"(render with: repro trace summarize {args.trace})")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from .obs import summarize_trace_file
+
+    summary = summarize_trace_file(args.trace_file)
+    print(f"Trace {args.trace_file}: schema v{summary.version}, "
+          f"{summary.num_records} records "
+          f"({summary.num_spans} spans, {summary.num_events} events)")
+
+    if summary.iterations:
+        rows = [
+            [
+                str(it.get("iteration", "?")),
+                str(it.get("labels_provided", "")),
+                str(it.get("matched_total", "")),
+                str(it.get("matched_correct", "")),
+                str(it.get("reviewed", "")),
+                f"{float(it.get('response_seconds', 0.0)):.3f}",
+            ]
+            for it in summary.iterations
+        ]
+        print(render_table(
+            ["iter", "labels", "matched", "correct", "reviewed", "response s"],
+            rows,
+            title="Session iterations",
+        ))
+
+    if summary.stages:
+        rows = [
+            [
+                stage.name,
+                str(stage.calls),
+                f"{stage.total_seconds:.4f}",
+                f"{stage.mean_seconds:.4f}",
+            ]
+            for stage in summary.stages
+        ]
+        print(render_table(
+            ["span", "calls", "total s", "mean s"],
+            rows,
+            title="Span totals",
+        ))
+
+    if summary.invariant_violations:
+        print(f"Invariant violations: {summary.invariant_violations} "
+              f"(grep the trace for \"invariant.violation\")")
+
+    if summary.metrics:
+        rows = [
+            [name, str(value)] for name, value in sorted(summary.metrics.items())
+        ]
+        print(render_table(["metric", "value"], rows, title="Final metrics"))
 
 
 def _cmd_cache(args: argparse.Namespace) -> None:
@@ -307,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="least_confident_anchor",
     )
     session.add_argument("--seed", type=int, default=0)
+    session.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="stream an NDJSON trace of the session to this file",
+    )
     session.set_defaults(func=_cmd_session)
 
     cache = subparsers.add_parser("cache", help="inspect the artefact store")
@@ -332,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
     )
     train.set_defaults(func=_cmd_train)
+
+    trace = subparsers.add_parser("trace", help="render an NDJSON pipeline trace")
+    trace.add_argument("action", choices=["summarize"])
+    trace.add_argument("trace_file", help="NDJSON trace written via --trace/trace_path")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

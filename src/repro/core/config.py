@@ -61,6 +61,11 @@ class LsmConfig:
     #: re-scoring persistence); see :class:`repro.engine.EngineConfig`.
     engine: EngineConfig = field(default_factory=EngineConfig)
     update_bert_every: int = 1
+    #: When set, the matcher traces its full pipeline (predict stages, the
+    #: interactive session loop, engine/training/store activity) to this
+    #: NDJSON file; ``repro trace summarize`` renders it.  ``None`` (the
+    #: default) disables tracing entirely -- the hot paths run untraced.
+    trace_path: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:

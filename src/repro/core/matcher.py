@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..featurizers.base import AttributePairView
 from ..featurizers.bert import BertFeaturizer
 from ..featurizers.embedding import EmbeddingFeaturizer
@@ -67,61 +68,91 @@ class LearnedSchemaMatcher:
         self.source_schema = source_schema
         self.target_schema = target_schema
         self.config = config or LsmConfig()
-        self.artifacts = artifacts or build_artifacts(
-            target_schema, config=artifact_config
+        #: The matcher's tracer (``repro.obs``): a real one when
+        #: ``config.trace_path`` is set, the shared no-op otherwise.  It is
+        #: activated around every pipeline entry point, so engine, training
+        #: and store spans nest under the matcher's own.
+        self.tracer: obs.Tracer | obs.NullTracer = (
+            obs.Tracer(self.config.trace_path)
+            if self.config.trace_path
+            else obs.NULL_TRACER
         )
+        #: Unified stats registry over the engine/train/store/pipeline
+        #: counters; its snapshot is appended to the trace on ``close()``.
+        self.metrics = obs.MetricsRegistry()
 
-        self.store = CandidateStore(
-            source_schema,
-            target_schema,
-            use_descriptions=self.config.use_descriptions,
-        )
-        if self.config.max_candidates_per_source is not None:
-            self.store.prune(
-                self.config.max_candidates_per_source, self._blocking_scores()
+        with obs.activated(self.tracer), obs.span(
+            "lsm.init",
+            source=source_schema.name,
+            target=target_schema.name,
+        ):
+            self.artifacts = artifacts or build_artifacts(
+                target_schema, config=artifact_config
             )
 
-        featurizers: list = []
-        if self.config.use_lexical:
-            featurizers.append(LexicalFeaturizer())
-        if self.config.use_embedding:
-            featurizers.append(EmbeddingFeaturizer(embeddings=self.artifacts.embeddings))
-        self.bert_featurizer: BertFeaturizer | None = None
-        if self.config.use_bert:
-            self.bert_featurizer = BertFeaturizer(
-                self.artifacts.tokenizer,
-                self.artifacts.bert,
-                self.config.bert,
-                engine_config=self.config.engine,
-                engine_cache_token=self.artifacts.cache_key,
+            self.store = CandidateStore(
+                source_schema,
+                target_schema,
+                use_descriptions=self.config.use_descriptions,
             )
-            self.bert_featurizer.pretrain(
-                target_schema, cache_key=self.artifacts.cache_key
-            )
-            featurizers.append(self.bert_featurizer)
-        self.pipeline = FeaturizerPipeline(featurizers)
+            if self.config.max_candidates_per_source is not None:
+                self.store.prune(
+                    self.config.max_candidates_per_source, self._blocking_scores()
+                )
 
-        self.adjuster = ScoreAdjuster(
-            self.store,
-            target_schema,
-            apply_dtype_filter=self.config.apply_dtype_filter,
-            apply_entity_penalty=self.config.apply_entity_penalty,
-        )
-        self.strategy: SelectionStrategy = make_strategy(
-            self.config.selection_strategy,
-            source_schema,
-            anchor_set=anchor_set,
-            seed=self.config.seed,
-        )
-        self.meta = SelfTrainingClassifier(
-            rounds=self.config.self_training_rounds,
-            confidence_threshold=self.config.self_training_threshold,
-            l2=self.config.meta_l2,
-            prior_blend_full_at=self.config.meta_prior_blend_full_at,
-        )
+            featurizers: list = []
+            if self.config.use_lexical:
+                featurizers.append(LexicalFeaturizer())
+            if self.config.use_embedding:
+                featurizers.append(
+                    EmbeddingFeaturizer(embeddings=self.artifacts.embeddings)
+                )
+            self.bert_featurizer: BertFeaturizer | None = None
+            if self.config.use_bert:
+                self.bert_featurizer = BertFeaturizer(
+                    self.artifacts.tokenizer,
+                    self.artifacts.bert,
+                    self.config.bert,
+                    engine_config=self.config.engine,
+                    engine_cache_token=self.artifacts.cache_key,
+                )
+                self.bert_featurizer.pretrain(
+                    target_schema, cache_key=self.artifacts.cache_key
+                )
+                featurizers.append(self.bert_featurizer)
+            self.pipeline = FeaturizerPipeline(featurizers)
+
+            self.adjuster = ScoreAdjuster(
+                self.store,
+                target_schema,
+                apply_dtype_filter=self.config.apply_dtype_filter,
+                apply_entity_penalty=self.config.apply_entity_penalty,
+            )
+            self.strategy: SelectionStrategy = make_strategy(
+                self.config.selection_strategy,
+                source_schema,
+                anchor_set=anchor_set,
+                seed=self.config.seed,
+            )
+            self.meta = SelfTrainingClassifier(
+                rounds=self.config.self_training_rounds,
+                confidence_threshold=self.config.self_training_threshold,
+                l2=self.config.meta_l2,
+                prior_blend_full_at=self.config.meta_prior_blend_full_at,
+            )
         self._iteration = 0
         self._labels_at_last_bert_update = 0
         self.last_predictions: Predictions | None = None
+
+        if self.bert_featurizer is not None:
+            self.metrics.register("engine", self.bert_featurizer.engine.stats)
+            self.metrics.register("train", self.bert_featurizer.train_stats)
+        self.metrics.register("pipeline", self.pipeline.timings)
+        from .. import store as artifact_store
+
+        self.metrics.register("store", artifact_store.cache_stats)
+        if isinstance(self.tracer, obs.Tracer):
+            self.tracer.registry = self.metrics
 
     # -- blocking -----------------------------------------------------------------
 
@@ -178,44 +209,58 @@ class LearnedSchemaMatcher:
     def predict(self) -> Predictions:
         """One full train-and-predict pass over the current label state."""
         self._iteration += 1
-        self._maybe_update_bert()
+        with obs.activated(self.tracer), obs.span(
+            "lsm.predict", iteration=self._iteration
+        ) as predict_span:
+            with obs.span("lsm.update_bert"):
+                self._maybe_update_bert()
 
-        all_ids = np.arange(self.store.num_pairs)
-        features = self.pipeline.featurize(self.store.views(all_ids))
-        self.meta.fit(features, self.store.labels.astype(np.int64))
-        raw_scores = self.meta.predict(features)
-        adjusted = self.adjuster.adjust(raw_scores)
+            all_ids = np.arange(self.store.num_pairs)
+            with obs.span("lsm.featurize", pairs=int(self.store.num_pairs)):
+                features = self.pipeline.featurize(self.store.views(all_ids))
+            with obs.span(
+                "lsm.meta_fit", labeled=int(self.store.labeled_ids().size)
+            ):
+                self.meta.fit(features, self.store.labels.astype(np.int64))
+                raw_scores = self.meta.predict(features)
+            with obs.span("lsm.adjust"):
+                adjusted = self.adjuster.adjust(raw_scores)
 
-        suggestions: dict[AttributeRef, list[tuple[AttributeRef, float]]] = {}
-        confidences: dict[AttributeRef, float] = {}
-        matched = set(self.store.matched_sources())
-        for source_index, source_ref in enumerate(self.store.source_refs):
-            if source_ref in matched:
-                continue
-            pair_ids = np.flatnonzero(self.store.pair_source == source_index)
-            if pair_ids.size == 0:
-                suggestions[source_ref] = []
-                confidences[source_ref] = 0.0
-                continue
-            pair_scores = adjusted[pair_ids]
-            order = np.argsort(-pair_scores, kind="stable")[: self.config.top_k]
-            suggestions[source_ref] = [
-                (
-                    self.store.target_refs[int(self.store.pair_target[int(pair_ids[i])])],
-                    float(pair_scores[int(i)]),
-                )
-                for i in order
-            ]
-            # Prediction confidence: softmax over the attribute's candidate
-            # scores; a peaked distribution means a confident model (§IV-E2).
-            confidences[source_ref] = float(softmax(pair_scores).max())
+            with obs.span("lsm.rank"):
+                suggestions: dict[AttributeRef, list[tuple[AttributeRef, float]]] = {}
+                confidences: dict[AttributeRef, float] = {}
+                matched = set(self.store.matched_sources())
+                for source_index, source_ref in enumerate(self.store.source_refs):
+                    if source_ref in matched:
+                        continue
+                    pair_ids = np.flatnonzero(self.store.pair_source == source_index)
+                    if pair_ids.size == 0:
+                        suggestions[source_ref] = []
+                        confidences[source_ref] = 0.0
+                        continue
+                    pair_scores = adjusted[pair_ids]
+                    order = np.argsort(-pair_scores, kind="stable")[: self.config.top_k]
+                    suggestions[source_ref] = [
+                        (
+                            self.store.target_refs[
+                                int(self.store.pair_target[int(pair_ids[i])])
+                            ],
+                            float(pair_scores[int(i)]),
+                        )
+                        for i in order
+                    ]
+                    # Prediction confidence: softmax over the attribute's
+                    # candidate scores; a peaked distribution means a
+                    # confident model (§IV-E2).
+                    confidences[source_ref] = float(softmax(pair_scores).max())
+            predict_span.set(unmatched=len(suggestions))
 
-        self.last_predictions = Predictions(
-            scores=adjusted,
-            suggestions=suggestions,
-            confidences=confidences,
-            feature_names=self.pipeline.feature_names,
-        )
+            self.last_predictions = Predictions(
+                scores=adjusted,
+                suggestions=suggestions,
+                confidences=confidences,
+                feature_names=self.pipeline.feature_names,
+            )
         return self.last_predictions
 
     # -- active learning ----------------------------------------------------------
@@ -257,8 +302,9 @@ class LearnedSchemaMatcher:
         return self.bert_featurizer.train_stats.as_dict()
 
     def close(self) -> None:
-        """Release featurizer resources (scoring-engine worker pools)."""
+        """Release featurizer resources and finalise the trace (if any)."""
         self.pipeline.close()
+        self.tracer.close()
 
     # -- results -------------------------------------------------------------------
 

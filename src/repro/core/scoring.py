@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..schema.graph import JoinGraph
 from ..schema.model import Schema
 from .candidates import CandidateStore
@@ -56,13 +57,26 @@ class ScoreAdjuster:
         self.apply_dtype_filter = apply_dtype_filter
         self.apply_entity_penalty = apply_entity_penalty
         self._dtype_mask: np.ndarray | None = None
+        self._dtype_mask_key: tuple[bytes, bytes] | None = None
         self._join_graph = JoinGraph(target_schema) if apply_entity_penalty else None
         self._target_entities = [ref.entity for ref in store.target_refs]
 
+    def _pair_fingerprint(self) -> tuple[bytes, bytes]:
+        """Identity of the store's current pair layout (order-sensitive)."""
+        return (self.store.pair_source.tobytes(), self.store.pair_target.tobytes())
+
     def _current_dtype_mask(self) -> np.ndarray:
-        """Dtype mask aligned with the store (recomputed if pairs were added)."""
-        if self._dtype_mask is None or self._dtype_mask.shape[0] != self.store.num_pairs:
+        """Dtype mask aligned with the store's current pair layout.
+
+        Keyed on the pair index arrays themselves, not their length: a
+        count-preserving mutation (prune one pair, ``ensure_pair`` another)
+        changes which pair sits at each row, and a length-keyed cache would
+        silently zero the wrong candidates.
+        """
+        key = self._pair_fingerprint()
+        if self._dtype_mask is None or key != self._dtype_mask_key:
             self._dtype_mask = dtype_compatibility_mask(self.store)
+            self._dtype_mask_key = key
         return self._dtype_mask
 
     def adjust(self, scores: np.ndarray) -> np.ndarray:
@@ -88,4 +102,18 @@ class ScoreAdjuster:
                         ]
                     )
                     adjusted *= factor
+        if obs.enabled() and self.apply_dtype_filter:
+            mask = self._current_dtype_mask()
+            obs.check(
+                "scoring.dtype_mask_aligned",
+                mask.shape[0] == self.store.num_pairs,
+                mask_rows=int(mask.shape[0]),
+                num_pairs=int(self.store.num_pairs),
+            )
+            incompatible_nonzero = int(np.count_nonzero(adjusted[~mask]))
+            obs.check(
+                "scoring.incompatible_pairs_zeroed",
+                incompatible_nonzero == 0,
+                nonzero=incompatible_nonzero,
+            )
         return adjusted

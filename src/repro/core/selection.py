@@ -79,7 +79,8 @@ class LeastConfidentAnchorSelection:
     ) -> list[AttributeRef]:
         if not unlabeled:
             return []
-        unlabeled_anchors = [ref for ref in self.anchors if ref in set(unlabeled)]
+        unlabeled_set = set(unlabeled)
+        unlabeled_anchors = [ref for ref in self.anchors if ref in unlabeled_set]
 
         if self._first_call:
             # "At the first iteration, LSM selects the first N attributes

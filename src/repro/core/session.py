@@ -21,8 +21,9 @@ plus the wall-clock response time of the retrain-and-predict step.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from .. import obs
 from ..schema.model import MatchResult
 from .matcher import LearnedSchemaMatcher
 from .oracle import GroundTruthOracle
@@ -104,8 +105,13 @@ class MatchingSession:
         self.matcher = matcher
         self.oracle = oracle
         num_sources = matcher.store.num_sources
-        # Each iteration directly labels >= 1 attribute, so this terminates.
-        self.max_iterations = max_iterations or (num_sources + 5)
+        if max_iterations is None:
+            # Each iteration directly labels >= 1 attribute, so this terminates.
+            max_iterations = num_sources + 5
+        elif max_iterations < 0:
+            raise ValueError("max_iterations must be >= 0")
+        # An explicit 0 means "run zero iterations", not "use the default".
+        self.max_iterations = max_iterations
 
     def _count_correct(self) -> int:
         correct = 0
@@ -120,45 +126,62 @@ class MatchingSession:
         store = self.matcher.store
         records: list[IterationRecord] = []
         labels_provided = 0
+        tracer = getattr(self.matcher, "tracer", obs.NULL_TRACER)
 
-        for iteration in range(1, self.max_iterations + 1):
-            started = time.perf_counter()
-            predictions = self.matcher.predict()
-            response_seconds = time.perf_counter() - started
+        with obs.activated(tracer), obs.span(
+            "session.run",
+            num_sources=store.num_sources,
+            max_iterations=self.max_iterations,
+        ) as run_span:
+            for iteration in range(1, self.max_iterations + 1):
+                with obs.span("session.iteration", iteration=iteration) as it_span:
+                    started = time.perf_counter()
+                    predictions = self.matcher.predict()
+                    response_seconds = time.perf_counter() - started
 
-            # --- reviewing phase (free of labeling cost) -----------------
-            reviewed = 0
-            for source, ranked in predictions.suggestions.items():
-                shown = [target for target, _ in ranked]
-                if not shown:
-                    continue
-                reviewed += 1
-                choice = self.oracle.review(source, shown)
-                if choice is not None:
-                    self.matcher.record_match(source, choice)
-                else:
-                    self.matcher.record_rejected(source, shown)
+                    # --- reviewing phase (free of labeling cost) ---------
+                    reviewed = 0
+                    with obs.span("session.review"):
+                        for source, ranked in predictions.suggestions.items():
+                            shown = [target for target, _ in ranked]
+                            if not shown:
+                                continue
+                            reviewed += 1
+                            choice = self.oracle.review(source, shown)
+                            if choice is not None:
+                                self.matcher.record_match(source, choice)
+                            else:
+                                self.matcher.record_rejected(source, shown)
 
-            # --- labeling phase (costs N labels) --------------------------
-            to_label = self.matcher.select_attributes_to_label()
-            for source in to_label:
-                self.matcher.record_match(source, self.oracle.label(source))
-                labels_provided += 1
+                    # --- labeling phase (costs N labels) ------------------
+                    with obs.span("session.label"):
+                        to_label = self.matcher.select_attributes_to_label()
+                        for source in to_label:
+                            self.matcher.record_match(source, self.oracle.label(source))
+                            labels_provided += 1
 
-            records.append(
-                IterationRecord(
-                    iteration=iteration,
-                    labels_provided=labels_provided,
-                    matched_total=len(store.matched_sources()),
-                    matched_correct=self._count_correct(),
-                    reviewed=reviewed,
-                    response_seconds=response_seconds,
-                )
+                    record = IterationRecord(
+                        iteration=iteration,
+                        labels_provided=labels_provided,
+                        matched_total=len(store.matched_sources()),
+                        matched_correct=self._count_correct(),
+                        reviewed=reviewed,
+                        response_seconds=response_seconds,
+                    )
+                    records.append(record)
+                    # The span mirrors the IterationRecord field for field,
+                    # so a trace reproduces the session numbers exactly.
+                    it_span.set(**asdict(record))
+                if not store.unmatched_sources():
+                    break
+
+            completed = not store.unmatched_sources()
+            run_span.set(
+                completed=completed,
+                iterations=len(records),
+                total_labels=labels_provided,
             )
-            if not store.unmatched_sources():
-                break
-
-        completed = not store.unmatched_sources()
+        tracer.flush()
         return SessionResult(
             records=records,
             num_source_attributes=store.num_sources,

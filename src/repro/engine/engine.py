@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..lm.tokenizer import EncodedPair
 from .batching import plan_microbatches, plan_num_buckets
 from .executor import MicroBatchExecutor, make_worker_payload
@@ -239,41 +240,46 @@ class ScoringEngine:
         self.stats.pairs_requested += count
         if count == 0:
             return np.zeros(0, dtype=np.float64)
-        self.model.eval()
-        self.classifier.eval()
+        with obs.span(
+            "engine.score", pairs=count, version=self._version
+        ) as score_span:
+            self.model.eval()
+            self.classifier.eval()
 
-        with self.stats.timer("fingerprint"):
-            fingerprints = [fingerprint_encoded(pair) for pair in encoded]
-        self._load_persisted()
+            with self.stats.timer("fingerprint"):
+                fingerprints = [fingerprint_encoded(pair) for pair in encoded]
+            self._load_persisted()
 
-        scores = np.empty(count, dtype=np.float64)
-        dirty: list[int] = []
-        for index, fingerprint in enumerate(fingerprints):
-            cached = self._scores.get(fingerprint)
-            if cached is None:
-                dirty.append(index)
-            else:
-                scores[index] = cached
-        self.stats.pairs_skipped += count - len(dirty)
-        self.stats.pairs_scored += len(dirty)
+            scores = np.empty(count, dtype=np.float64)
+            dirty: list[int] = []
+            for index, fingerprint in enumerate(fingerprints):
+                cached = self._scores.get(fingerprint)
+                if cached is None:
+                    dirty.append(index)
+                else:
+                    scores[index] = cached
+            self.stats.pairs_skipped += count - len(dirty)
+            self.stats.pairs_scored += len(dirty)
+            score_span.set(dirty=len(dirty), skipped=count - len(dirty))
 
-        if dirty:
-            with self.stats.timer("bucket"):
-                plan = plan_microbatches(
-                    [encoded[i] for i in dirty],
-                    microbatch_size=self.config.microbatch_size,
-                    bucket_granularity=self.config.bucket_granularity,
-                )
-            self.stats.buckets += plan_num_buckets(plan)
-            self.stats.microbatches += len(plan)
-            results = self._score_plan(plan)
-            for microbatch, probabilities in zip(plan, results):
-                for position, probability in zip(microbatch.indices, probabilities):
-                    index = dirty[position]
-                    value = float(probability)
-                    scores[index] = value
-                    self._scores[fingerprints[index]] = value
-            self._save_persisted()
+            if dirty:
+                with self.stats.timer("bucket"):
+                    plan = plan_microbatches(
+                        [encoded[i] for i in dirty],
+                        microbatch_size=self.config.microbatch_size,
+                        bucket_granularity=self.config.bucket_granularity,
+                    )
+                self.stats.buckets += plan_num_buckets(plan)
+                self.stats.microbatches += len(plan)
+                score_span.set(microbatches=len(plan))
+                results = self._score_plan(plan)
+                for microbatch, probabilities in zip(plan, results):
+                    for position, probability in zip(microbatch.indices, probabilities):
+                        index = dirty[position]
+                        value = float(probability)
+                        scores[index] = value
+                        self._scores[fingerprints[index]] = value
+                self._save_persisted()
         return scores
 
     def close(self) -> None:

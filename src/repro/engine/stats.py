@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterator
 
 
@@ -62,6 +62,18 @@ class EngineStats:
         """Fold externally measured time (e.g. pipeline stages) into the stats."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
         self.stage_calls[stage] = self.stage_calls.get(stage, 0) + calls
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Sum of two stat sets (counters added, stage dicts folded)."""
+        merged = EngineStats()
+        for f in fields(EngineStats):
+            if f.name in ("stage_seconds", "stage_calls"):
+                continue
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for source in (self, other):
+            for stage, seconds in source.stage_seconds.items():
+                merged.add_time(stage, seconds, source.stage_calls.get(stage, 1))
+        return merged
 
     def as_dict(self) -> dict[str, object]:
         """Flat snapshot: counters plus ``time.<stage>`` seconds."""

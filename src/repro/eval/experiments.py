@@ -404,9 +404,18 @@ def run_lsm_session(
     task: MatchingTask,
     seed: int = 0,
     noise_rate: float = 0.0,
+    trace_path: str | None = None,
     **config_overrides,
 ) -> SessionResult:
-    """One full interactive session of LSM against the simulated user."""
+    """One full interactive session of LSM against the simulated user.
+
+    With ``trace_path``, the full run (predict stages, per-iteration session
+    spans, engine/training/store activity) is streamed to that NDJSON file
+    and finalised — metrics + summary tail lines — before returning; render
+    it with ``repro trace summarize``.
+    """
+    if trace_path is not None:
+        config_overrides["trace_path"] = str(trace_path)
     config = experiment_lsm_config(task, seed=seed, **config_overrides)
     matcher = make_matcher(task, config=config, seed=seed)
     oracle = GroundTruthOracle(
@@ -416,7 +425,10 @@ def run_lsm_session(
         embeddings=artifacts_for(task).embeddings if noise_rate > 0 else None,
         seed=seed,
     )
-    return MatchingSession(matcher, oracle).run()
+    try:
+        return MatchingSession(matcher, oracle).run()
+    finally:
+        matcher.close()
 
 
 def run_best_baseline_session(

@@ -17,6 +17,25 @@ from ..core.matcher import Predictions
 from ..schema.model import AttributeRef
 
 
+def _resolve_trapezoid(module=np):
+    """The module's trapezoidal-rule integrator, wherever it lives.
+
+    NumPy 2.0 renamed ``np.trapz`` to ``np.trapezoid`` (and later removed
+    the old name); ``pyproject.toml`` allows ``numpy>=1.23``, where only
+    ``trapz`` exists.  Resolve whichever the installed NumPy provides.
+    """
+    for name in ("trapezoid", "trapz"):
+        fn = getattr(module, name, None)
+        if fn is not None:
+            return fn
+    raise AttributeError(
+        f"{getattr(module, '__name__', module)!r} has neither trapezoid nor trapz"
+    )
+
+
+_trapezoid = _resolve_trapezoid()
+
+
 def top_k_accuracy(
     suggestions: Mapping[AttributeRef, Sequence[AttributeRef]],
     truth: Mapping[AttributeRef, AttributeRef],
@@ -86,4 +105,4 @@ def area_above_curve(xs: Sequence[float], ys: Sequence[float]) -> float:
     xs_array = np.asarray(xs, dtype=np.float64)
     ys_array = np.asarray(ys, dtype=np.float64)
     gaps = 100.0 - ys_array
-    return float(np.trapezoid(gaps, xs_array) / 100.0)
+    return float(_trapezoid(gaps, xs_array) / 100.0)

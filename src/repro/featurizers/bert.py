@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..lm.bert import MiniBert
 from ..lm.tokenizer import EncodedPair, WordPieceTokenizer
 from ..nn.activations import relu, relu_backward, sigmoid
@@ -537,6 +538,23 @@ class BertFeaturizer:
             return []
         if train_encoder is None:
             train_encoder = self.config.finetune_encoder
+        with obs.span(
+            "bert.train",
+            samples=len(samples),
+            epochs=int(epochs),
+            warm=bool(warm),
+            train_encoder=bool(train_encoder),
+        ):
+            return self._train_traced(samples, epochs, train_channels, train_encoder, warm)
+
+    def _train_traced(
+        self,
+        samples: Sequence[TrainingSample],
+        epochs: int,
+        train_channels: bool,
+        train_encoder: bool,
+        warm: bool,
+    ) -> list[float]:
         stats = self.train_stats
         with stats.timer("encode"):
             encoded = [self._encode_sample(sample) for sample in samples]
@@ -636,54 +654,61 @@ class BertFeaturizer:
         from .. import store as disk_cache
         from ..nn.serialize import load_state_dict, state_dict
 
-        self._iss_samples = generate_pretraining_samples(
-            target_schema,
-            self._rng,
-            self.config.negatives_per_positive,
-            lexicon=lexicon,
-        )
-        full_key = None
-        if cache_key is not None:
-            full_key = disk_cache.content_key(
-                "bert-featurizer-pretrain-v1",
-                cache_key,
-                target_schema.name,
-                {
-                    k: v
-                    for k, v in self.config.__dict__.items()
-                    if isinstance(v, (int, float, bool, str))
-                },
+        with obs.span("bert.pretrain", schema=target_schema.name) as span:
+            self._iss_samples = generate_pretraining_samples(
+                target_schema,
+                self._rng,
+                self.config.negatives_per_positive,
+                lexicon=lexicon,
             )
-            stored = disk_cache.load_arrays("bert-pretrain", full_key)
-            if stored is not None:
-                model_state = {
-                    name.removeprefix("model."): value
-                    for name, value in stored.items()
-                    if name.startswith("model.")
+            span.set(samples=len(self._iss_samples))
+            full_key = None
+            if cache_key is not None:
+                full_key = disk_cache.content_key(
+                    "bert-featurizer-pretrain-v1",
+                    cache_key,
+                    target_schema.name,
+                    {
+                        k: v
+                        for k, v in self.config.__dict__.items()
+                        if isinstance(v, (int, float, bool, str))
+                    },
+                )
+                stored = disk_cache.load_arrays("bert-pretrain", full_key)
+                if stored is not None:
+                    model_state = {
+                        name.removeprefix("model."): value
+                        for name, value in stored.items()
+                        if name.startswith("model.")
+                    }
+                    classifier_state = {
+                        name.removeprefix("classifier."): value
+                        for name, value in stored.items()
+                        if name.startswith("classifier.")
+                    }
+                    load_state_dict(self.model, model_state)
+                    load_state_dict(self.classifier, classifier_state)
+                    self.model.eval()
+                    self.classifier.eval()
+                    self.engine.invalidate_model()
+                    span.set(cached=True)
+                    return []
+            span.set(cached=False)
+            losses = self._train(
+                self._iss_samples,
+                self.config.pretrain_epochs,
+                train_channels=False,
+                train_encoder=False,
+            )
+            if full_key is not None:
+                combined = {
+                    **{f"model.{k}": v for k, v in state_dict(self.model).items()},
+                    **{
+                        f"classifier.{k}": v
+                        for k, v in state_dict(self.classifier).items()
+                    },
                 }
-                classifier_state = {
-                    name.removeprefix("classifier."): value
-                    for name, value in stored.items()
-                    if name.startswith("classifier.")
-                }
-                load_state_dict(self.model, model_state)
-                load_state_dict(self.classifier, classifier_state)
-                self.model.eval()
-                self.classifier.eval()
-                self.engine.invalidate_model()
-                return []
-        losses = self._train(
-            self._iss_samples,
-            self.config.pretrain_epochs,
-            train_channels=False,
-            train_encoder=False,
-        )
-        if full_key is not None:
-            combined = {
-                **{f"model.{k}": v for k, v in state_dict(self.model).items()},
-                **{f"classifier.{k}": v for k, v in state_dict(self.classifier).items()},
-            }
-            disk_cache.save_arrays("bert-pretrain", full_key, combined)
+                disk_cache.save_arrays("bert-pretrain", full_key, combined)
         return losses
 
     def update(

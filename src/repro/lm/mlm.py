@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..nn.layers import Linear, Module
 from ..nn.losses import softmax_cross_entropy
 from ..nn.optim import Adam, clip_gradients
@@ -194,45 +195,49 @@ def pretrain_mlm(
     head.train()
     losses: list[float] = []
     steps = 0
-    for _ in range(epochs):
-        stats.epochs += 1
-        with stats.timer("bucket"):
-            plan = plan_training_microbatches(
-                encoded,
-                microbatch_size=batch_size,
-                bucket_granularity=bucket_granularity,
-                rng=rng,
-            )
-        stats.buckets += plan_num_buckets(plan)
-        for microbatch in plan:
-            with stats.timer("mask"):
-                drawn = mask_tokens_with_redraw(
-                    microbatch.batch,
-                    tokenizer.vocab,
-                    rng,
-                    mask_probability,
-                    stats=stats,
+    with obs.span(
+        "mlm.pretrain", sentences=len(encoded), epochs=int(epochs)
+    ) as span:
+        for _ in range(epochs):
+            stats.epochs += 1
+            with stats.timer("bucket"):
+                plan = plan_training_microbatches(
+                    encoded,
+                    microbatch_size=batch_size,
+                    bucket_granularity=bucket_granularity,
+                    rng=rng,
                 )
-            if drawn is None:
-                continue
-            masked, labels = drawn
-            with stats.timer("forward"):
-                hidden, _ = model.forward(masked)
-                logits = head.forward(hidden)
-            loss, grad_logits = softmax_cross_entropy(
-                logits, labels, ignore_index=IGNORE_INDEX
-            )
-            with stats.timer("backward"):
-                optimizer.zero_grad()
-                grad_hidden = head.backward(grad_logits)
-                model.backward(grad_hidden=grad_hidden)
-            with stats.timer("optim"):
-                clip_gradients(parameters, max_grad_norm)
-                optimizer.step()
-            losses.append(loss)
-            steps += 1
-            stats.steps += 1
-            stats.microbatches += 1
-            stats.samples += int(masked.input_ids.shape[0])
+            stats.buckets += plan_num_buckets(plan)
+            for microbatch in plan:
+                with stats.timer("mask"):
+                    drawn = mask_tokens_with_redraw(
+                        microbatch.batch,
+                        tokenizer.vocab,
+                        rng,
+                        mask_probability,
+                        stats=stats,
+                    )
+                if drawn is None:
+                    continue
+                masked, labels = drawn
+                with stats.timer("forward"):
+                    hidden, _ = model.forward(masked)
+                    logits = head.forward(hidden)
+                loss, grad_logits = softmax_cross_entropy(
+                    logits, labels, ignore_index=IGNORE_INDEX
+                )
+                with stats.timer("backward"):
+                    optimizer.zero_grad()
+                    grad_hidden = head.backward(grad_logits)
+                    model.backward(grad_hidden=grad_hidden)
+                with stats.timer("optim"):
+                    clip_gradients(parameters, max_grad_norm)
+                    optimizer.step()
+                losses.append(loss)
+                steps += 1
+                stats.steps += 1
+                stats.microbatches += 1
+                stats.samples += int(masked.input_ids.shape[0])
+        span.set(steps=steps, final_loss=float(losses[-1]) if losses else None)
     model.eval()
     return MlmTrainResult(losses=losses, steps=steps)

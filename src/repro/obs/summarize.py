@@ -1,0 +1,158 @@
+"""Trace-file analysis behind ``repro trace summarize``.
+
+A trace is NDJSON: one ``meta`` header, then ``span``/``event`` lines as
+the run progresses, then optional ``metrics`` and ``summary`` tail lines
+(see :mod:`repro.obs.tracer`).  :func:`load_trace` parses and *validates* a
+file -- malformed lines raise :class:`TraceError` with the offending line
+number, which is what lets ``make trace-smoke`` assert well-formedness.
+:func:`summarize_trace` reduces the records to the two tables humans want:
+the per-iteration view of the interactive session (mirroring
+:class:`~repro.core.session.IterationRecord`) and the per-stage aggregate
+(calls, total and mean seconds per span name).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .tracer import TRACE_SCHEMA_VERSION
+
+#: Span name the interactive session emits once per iteration.
+ITERATION_SPAN = "session.iteration"
+
+#: The line kinds a well-formed trace may contain.
+KNOWN_KINDS = {"meta", "span", "event", "metrics", "summary"}
+
+
+class TraceError(ValueError):
+    """A trace file is malformed (bad JSON, bad schema, bad version)."""
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse and validate an NDJSON trace file.
+
+    Raises :class:`TraceError` (with a line number) on anything malformed:
+    non-JSON lines, non-object lines, unknown/missing ``kind``, a missing
+    ``meta`` header or a schema version from the future.
+    """
+    path = Path(path)
+    records: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise TraceError(
+                    f"{path}:{line_number}: expected a JSON object, "
+                    f"got {type(record).__name__}"
+                )
+            kind = record.get("kind")
+            if kind not in KNOWN_KINDS:
+                raise TraceError(f"{path}:{line_number}: unknown record kind {kind!r}")
+            records.append(record)
+    if not records:
+        raise TraceError(f"{path}: empty trace")
+    header = records[0]
+    if header.get("kind") != "meta":
+        raise TraceError(f"{path}: first record must be the meta header")
+    version = header.get("version")
+    if not isinstance(version, int) or version > TRACE_SCHEMA_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace schema version {version!r} "
+            f"(this build reads <= {TRACE_SCHEMA_VERSION})"
+        )
+    return records
+
+
+@dataclass
+class StageRow:
+    """Aggregate of all spans sharing one name."""
+
+    name: str
+    calls: int
+    total_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summarize`` renders."""
+
+    version: int | None
+    num_records: int
+    num_spans: int
+    num_events: int
+    #: One row per ``session.iteration`` span: its attrs plus ``dur_s``,
+    #: ordered by iteration number.
+    iterations: list[dict[str, Any]] = field(default_factory=list)
+    #: Per-span-name aggregates, largest total first.
+    stages: list[StageRow] = field(default_factory=list)
+    #: The final metrics-registry snapshot, when the tracer was closed.
+    metrics: dict[str, Any] | None = None
+    #: ``invariant.violation`` events (should be 0 on a healthy run).
+    invariant_violations: int = 0
+
+
+def summarize_trace(records: Sequence[Mapping[str, Any]]) -> TraceSummary:
+    """Reduce trace records (from :func:`load_trace` or ``Tracer.records``)."""
+    version: int | None = None
+    iterations: list[dict[str, Any]] = []
+    totals: dict[str, tuple[int, float]] = {}
+    metrics: dict[str, Any] | None = None
+    num_spans = num_events = violations = 0
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            raw = record.get("version")
+            version = raw if isinstance(raw, int) else None
+        elif kind == "span":
+            num_spans += 1
+            name = str(record.get("name"))
+            duration = float(record.get("dur_s") or 0.0)
+            calls, seconds = totals.get(name, (0, 0.0))
+            totals[name] = (calls + 1, seconds + duration)
+            if name == ITERATION_SPAN:
+                attrs = record.get("attrs")
+                row = dict(attrs) if isinstance(attrs, Mapping) else {}
+                row["dur_s"] = duration
+                iterations.append(row)
+        elif kind == "event":
+            num_events += 1
+            if record.get("name") == "invariant.violation":
+                violations += 1
+        elif kind == "metrics":
+            payload = record.get("metrics")
+            if isinstance(payload, Mapping):
+                metrics = dict(payload)
+    iterations.sort(key=lambda row: row.get("iteration", 0))
+    stages = [
+        StageRow(name=name, calls=calls, total_seconds=seconds)
+        for name, (calls, seconds) in totals.items()
+    ]
+    stages.sort(key=lambda row: row.total_seconds, reverse=True)
+    return TraceSummary(
+        version=version,
+        num_records=len(records),
+        num_spans=num_spans,
+        num_events=num_events,
+        iterations=iterations,
+        stages=stages,
+        metrics=metrics,
+        invariant_violations=violations,
+    )
+
+
+def summarize_trace_file(path: str | Path) -> TraceSummary:
+    """Load + summarize in one call (the CLI entry point)."""
+    return summarize_trace(load_trace(path))

@@ -1,0 +1,326 @@
+"""The structured tracer: nested spans with wall-clock and counters.
+
+One :class:`Tracer` covers one pipeline run (typically one
+:class:`~repro.core.matcher.LearnedSchemaMatcher` and its interactive
+session).  Instrumentation sites call the *ambient* helpers
+(:func:`span`, :func:`event`, :func:`check`) which dispatch to whatever
+tracer is currently activated; when none is, they dispatch to the shared
+:data:`NULL_TRACER` and cost one function call -- tracing is **off by
+default** and the hot paths stay unmeasurably close to uninstrumented.
+
+Spans nest: entering a span pushes it on the tracer's stack, so every
+finished span records its parent id and depth.  Finished spans are appended
+to the trace file as one NDJSON line each (flushed per line, so a crashed
+run still leaves a parseable prefix) and folded into per-name duration/call
+counters.  The first line of every trace file is a ``meta`` header carrying
+:data:`TRACE_SCHEMA_VERSION`; :func:`Tracer.close` appends a final
+``metrics`` line with the attached :class:`~repro.obs.registry.MetricsRegistry`
+snapshot and a ``summary`` line with the span counters.
+
+:func:`check` is the invariant hook: free when tracing is off, a recorded
+event plus a raised :class:`InvariantViolation` when it is on -- the
+mechanism that turns silent ranking drift (a misaligned dtype mask, a
+non-zero score on an incompatible pair) into a loud failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Bump when the NDJSON line schema changes; ``repro trace summarize``
+#: refuses traces from a future schema instead of misreading them.
+TRACE_SCHEMA_VERSION = 1
+
+
+class InvariantViolation(AssertionError):
+    """A pipeline invariant failed while tracing was active."""
+
+
+class Span:
+    """One live span; ``set``/``add`` attach attributes before it finishes."""
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "attrs", "wall_start", "_perf_start")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self.wall_start = time.time()
+        self._perf_start = time.perf_counter()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+    def add(self, **counters: float) -> None:
+        """Accumulate numeric attributes (missing keys start at 0)."""
+        for key, value in counters.items():
+            self.attrs[key] = self.attrs.get(key, 0) + value
+
+
+class _NullSpan:
+    """Inert span handed out when tracing is off; every method is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def add(self, **counters: float) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager (no per-call allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The off-switch: accepts the full tracer API and records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op tracer; the ambient default, and what disabled components use.
+NULL_TRACER = NullTracer()
+
+
+def _json_default(value: Any) -> Any:
+    """Best-effort serialization for attribute values (numpy scalars, paths)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class Tracer:
+    """Collects nested spans; optionally streams them to an NDJSON file.
+
+    Parameters
+    ----------
+    path:
+        Trace file destination.  ``None`` keeps the trace in memory only
+        (``records``); a path opens lazily on the first span and is
+        truncated, so every tracer owns a fresh trace.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` whose snapshot
+        is appended as the final ``metrics`` line on :meth:`close`.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | os.PathLike | None = None, registry: Any = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.registry = registry
+        #: Every emitted line, in order, as plain dicts (tests and in-process
+        #: summaries read this; the NDJSON file holds the same payloads).
+        self.records: list[dict[str, Any]] = []
+        #: Cumulative seconds per span name.
+        self.span_seconds: dict[str, float] = {}
+        #: Finished spans per span name.
+        self.span_calls: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._file: Any = None
+        self._closed = False
+
+    # -- emission --------------------------------------------------------
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self.records.append(record)
+            if self.path is None or self._closed:
+                return
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("w", encoding="utf-8")
+                header = {
+                    "kind": "meta",
+                    "version": TRACE_SCHEMA_VERSION,
+                    "created_s": time.time(),
+                    "pid": os.getpid(),
+                }
+                self.records.insert(len(self.records) - 1, header)
+                self._file.write(json.dumps(header, default=_json_default) + "\n")
+            self._file.write(json.dumps(record, default=_json_default) + "\n")
+            # Flush per line: a killed process still leaves a parseable trace.
+            self._file.flush()
+
+    # -- spans -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; its line is emitted when the block exits."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            parent_id = self._stack[-1] if self._stack else None
+            self._stack.append(span_id)
+        span = Span(name, span_id, parent_id, depth=len(self._stack) - 1, attrs=dict(attrs))
+        try:
+            yield span
+        except BaseException as exc:
+            span.set(error=f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            duration = time.perf_counter() - span._perf_start
+            with self._lock:
+                if self._stack and self._stack[-1] == span.span_id:
+                    self._stack.pop()
+                elif span.span_id in self._stack:  # tolerate out-of-order exits
+                    self._stack.remove(span.span_id)
+                self.span_seconds[name] = self.span_seconds.get(name, 0.0) + duration
+                self.span_calls[name] = self.span_calls.get(name, 0) + 1
+            self._emit(
+                {
+                    "kind": "span",
+                    "name": span.name,
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "depth": span.depth,
+                    "ts": span.wall_start,
+                    "dur_s": round(duration, 9),
+                    "attrs": span.attrs,
+                }
+            )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit a point-in-time line (no duration)."""
+        with self._lock:
+            parent_id = self._stack[-1] if self._stack else None
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "parent": parent_id,
+                "ts": time.time(),
+                "attrs": dict(attrs),
+            }
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        """Append the metrics + summary tail lines and close the file.
+
+        Idempotent: only the first call writes the tail.
+        """
+        if self._closed:
+            return
+        if self.registry is not None:
+            try:
+                payload = self.registry.as_dict()
+            except Exception:  # observability must never break the session
+                payload = {}
+            self._emit({"kind": "metrics", "ts": time.time(), "metrics": payload})
+        self._emit(
+            {
+                "kind": "summary",
+                "ts": time.time(),
+                "span_seconds": {k: round(v, 9) for k, v in self.span_seconds.items()},
+                "span_calls": dict(self.span_calls),
+            }
+        )
+        with self._lock:
+            self._closed = True
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+# -- ambient tracer ---------------------------------------------------------
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The tracer instrumentation sites currently dispatch to."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True when a real tracer is active (gates optional check *computation*)."""
+    return _ACTIVE.enabled
+
+
+@contextmanager
+def activated(tracer: Tracer | NullTracer | None) -> Iterator[Tracer | NullTracer]:
+    """Make ``tracer`` the ambient tracer inside the block (re-entrant)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer (no-op context when tracing is off)."""
+    return _ACTIVE.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit an event on the ambient tracer."""
+    _ACTIVE.event(name, **attrs)
+
+
+def check(name: str, ok: bool, **attrs: Any) -> None:
+    """Invariant hook: silent no-op when tracing is off, loud when it is on.
+
+    A failed check records an ``invariant.violation`` event (so the trace
+    shows *what* broke and *where* in the span tree) and raises
+    :class:`InvariantViolation`.  Guard any non-trivial computation of
+    ``ok`` behind :func:`enabled` so the untraced path pays nothing.
+    """
+    if _ACTIVE.enabled and not ok:
+        _ACTIVE.event("invariant.violation", check=name, **attrs)
+        _ACTIVE.flush()
+        raise InvariantViolation(f"invariant {name!r} violated: {attrs}")

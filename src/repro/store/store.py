@@ -39,6 +39,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from .. import obs
 from .integrity import (
     CORRUPTION_ERRORS,
     QUARANTINE_SUFFIX,
@@ -140,21 +141,25 @@ class ArtifactStore:
         Never raises on a damaged entry — quarantines it and reports a miss
         so the caller recomputes.
         """
-        if not path.exists():
-            self._record(lambda s: s.record_miss())
+        with obs.span("store.load", entry=path.name) as span:
+            if not path.exists():
+                self._record(lambda s: s.record_miss())
+                span.set(outcome="miss")
+                return None
+            reason = check_sidecar(path)
+            if reason is None:
+                try:
+                    value = reader(path)
+                except CORRUPTION_ERRORS as exc:
+                    reason = f"unreadable ({type(exc).__name__}: {exc})"
+                else:
+                    self._record(lambda s: s.record_hit())
+                    span.set(outcome="hit")
+                    return value
+            quarantine(path, reason)
+            self._record(lambda s: s.record_corruption(path.name))
+            span.set(outcome="corrupt", reason=reason)
             return None
-        reason = check_sidecar(path)
-        if reason is None:
-            try:
-                value = reader(path)
-            except CORRUPTION_ERRORS as exc:
-                reason = f"unreadable ({type(exc).__name__}: {exc})"
-            else:
-                self._record(lambda s: s.record_hit())
-                return value
-        quarantine(path, reason)
-        self._record(lambda s: s.record_corruption(path.name))
-        return None
 
     # -- writes ----------------------------------------------------------
 
@@ -177,30 +182,33 @@ class ArtifactStore:
         is a cache, so the session can always continue without it.
         """
         directory = self._ensure_namespace()
-        try:
-            with FileLock(path.with_name(path.name + LOCK_SUFFIX)):
-                fd, tmp_name = tempfile.mkstemp(
-                    prefix=TMP_PREFIX, suffix=path.suffix, dir=directory
-                )
-                tmp = Path(tmp_name)
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        serialize(handle)
-                        handle.flush()
-                        os.fsync(handle.fileno())
-                    digest = sha256_hex(tmp.read_bytes())
-                    nbytes = tmp.stat().st_size
-                    os.replace(tmp, path)
-                    write_sidecar(path, digest)
-                    self._fsync_dir(directory)
-                except BaseException:
-                    tmp.unlink(missing_ok=True)
-                    raise
-        except (OSError, LockTimeout) as exc:
-            logger.warning("could not persist cache entry %s: %s", path.name, exc)
-            self._record(lambda s: s.record_write_failure())
-            return None
-        self._record(lambda s: s.record_write(nbytes))
+        with obs.span("store.save", entry=path.name) as span:
+            try:
+                with FileLock(path.with_name(path.name + LOCK_SUFFIX)):
+                    fd, tmp_name = tempfile.mkstemp(
+                        prefix=TMP_PREFIX, suffix=path.suffix, dir=directory
+                    )
+                    tmp = Path(tmp_name)
+                    try:
+                        with os.fdopen(fd, "wb") as handle:
+                            serialize(handle)
+                            handle.flush()
+                            os.fsync(handle.fileno())
+                        digest = sha256_hex(tmp.read_bytes())
+                        nbytes = tmp.stat().st_size
+                        os.replace(tmp, path)
+                        write_sidecar(path, digest)
+                        self._fsync_dir(directory)
+                    except BaseException:
+                        tmp.unlink(missing_ok=True)
+                        raise
+            except (OSError, LockTimeout) as exc:
+                logger.warning("could not persist cache entry %s: %s", path.name, exc)
+                self._record(lambda s: s.record_write_failure())
+                span.set(outcome="failed")
+                return None
+            self._record(lambda s: s.record_write(nbytes))
+            span.set(outcome="written", bytes=nbytes)
         return path
 
     @staticmethod

@@ -85,6 +85,24 @@ class TestSelection:
         assert chosen[0] in set(matcher.source_schema.key_refs())
 
 
+class TestDtypeInvariant:
+    def test_incompatible_pairs_score_exactly_zero(self, matcher):
+        """The §IV-D guarantee at matcher level: after adjustment, every
+        dtype-incompatible candidate pair scores exactly 0 -- the invariant
+        the obs layer's ``scoring.incompatible_pairs_zeroed`` check guards."""
+        from repro.core.scoring import dtype_compatibility_mask
+
+        predictions = matcher.predict()
+        matcher.record_match(
+            AttributeRef("Orders", "qty"), AttributeRef("Transaction", "quantity")
+        )
+        predictions = matcher.predict()  # retrain with a label + entity penalty live
+        mask = dtype_compatibility_mask(matcher.store)
+        incompatible = predictions.scores[~mask]
+        assert incompatible.size > 0
+        assert np.count_nonzero(incompatible) == 0
+
+
 class TestSession:
     def test_session_completes_and_is_correct(
         self, source_schema, target_schema, config, tiny_artifacts, ground_truth
@@ -137,6 +155,30 @@ class TestSession:
         assert session.completed  # all matched...
         accuracy = session.result.accuracy_against(ground_truth)
         assert accuracy < 1.0  # ...but not all correctly
+
+    def test_zero_max_iterations_runs_zero_iterations(
+        self, source_schema, target_schema, config, tiny_artifacts, ground_truth
+    ):
+        """Regression: ``max_iterations or default`` treated an explicit 0 as
+        "unset" and ran the full default-length session."""
+        matcher = LearnedSchemaMatcher(
+            source_schema, target_schema, config=config, artifacts=tiny_artifacts
+        )
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        session = MatchingSession(matcher, oracle, max_iterations=0).run()
+        assert session.records == []
+        assert not session.completed
+        assert session.total_labels == 0
+
+    def test_negative_max_iterations_rejected(
+        self, source_schema, target_schema, config, tiny_artifacts, ground_truth
+    ):
+        matcher = LearnedSchemaMatcher(
+            source_schema, target_schema, config=config, artifacts=tiny_artifacts
+        )
+        oracle = GroundTruthOracle(ground_truth, target_schema)
+        with pytest.raises(ValueError, match="max_iterations"):
+            MatchingSession(matcher, oracle, max_iterations=-1)
 
     def test_random_strategy_also_completes(
         self, source_schema, target_schema, tiny_artifacts, ground_truth

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CandidateStore, ScoreAdjuster, entity_penalty
+from repro.core.scoring import dtype_compatibility_mask
 from repro.schema import AttributeRef
 
 
@@ -62,6 +63,31 @@ class TestDtypeFilter:
         )
         adjusted = adjuster.adjust(np.ones(store.num_pairs))
         assert adjusted.shape[0] == store.num_pairs
+
+    def test_mask_recomputed_after_count_preserving_mutation(
+        self, store, target_schema, rng
+    ):
+        """Regression: the mask cache was keyed on pair *count*, so a
+        mutation that drops one pair and re-adds another (same count, shifted
+        row layout) silently zeroed the wrong candidates."""
+        adjuster = ScoreAdjuster(store, target_schema, apply_entity_penalty=False)
+        adjuster.adjust(np.ones(store.num_pairs))  # populate the mask cache
+        stale_mask = adjuster._current_dtype_mask().copy()
+        before = store.num_pairs
+
+        all_pairs = set(zip(store.pair_source.tolist(), store.pair_target.tolist()))
+        store.prune(store.num_targets - 1, rng.random(store.num_pairs))
+        kept = set(zip(store.pair_source.tolist(), store.pair_target.tolist()))
+        for source_index, target_index in sorted(all_pairs - kept):
+            store.ensure_pair(
+                store.source_refs[source_index], store.target_refs[target_index]
+            )
+        assert store.num_pairs == before  # same count...
+        fresh_mask = dtype_compatibility_mask(store)
+        assert not np.array_equal(stale_mask, fresh_mask)  # ...different layout
+
+        adjusted = adjuster.adjust(np.ones(store.num_pairs))
+        np.testing.assert_array_equal(adjusted, np.where(fresh_mask, 1.0, 0.0))
 
 
 class TestEntityPenalty:

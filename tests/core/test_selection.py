@@ -60,6 +60,19 @@ class TestLeastConfidentAnchor:
         chosen = strategy.select(source_schema.attribute_refs(), {}, 2)
         assert len(chosen) == 2
 
+    def test_labeled_anchors_never_reselected(self, source_schema):
+        """Anchors outside the unlabeled pool must be filtered out (the
+        membership test the hoisted ``set(unlabeled)`` implements)."""
+        strategy = LeastConfidentAnchorSelection(source_schema)
+        unlabeled = [
+            ref
+            for ref in source_schema.attribute_refs()
+            if ref != strategy.anchors[0]
+        ]
+        chosen = strategy.select(unlabeled, {}, len(unlabeled))
+        assert strategy.anchors[0] not in chosen
+        assert set(chosen) <= set(unlabeled)
+
 
 class TestRandomSelection:
     def test_deterministic_per_seed(self, source_schema):

@@ -92,3 +92,43 @@ class TestReporting:
         text = summarise_curve("lsm", [0.0, 5.0, 20.0], [40.0, 70.0, 100.0])
         assert "lsm" in text
         assert "final=100%" in text
+
+
+class TestTrapezoidCompat:
+    """NumPy<2.0 has only ``trapz``; >=2.0 has ``trapezoid`` (and may drop
+    ``trapz``).  ``_resolve_trapezoid`` must work on both."""
+
+    def test_resolves_on_installed_numpy(self):
+        from repro.eval.metrics import _resolve_trapezoid
+
+        fn = _resolve_trapezoid()
+        assert float(fn([0.0, 1.0], [0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_prefers_trapezoid_over_trapz(self):
+        from types import SimpleNamespace
+
+        from repro.eval.metrics import _resolve_trapezoid
+
+        new = lambda y, x: "new"
+        old = lambda y, x: "old"
+        assert _resolve_trapezoid(SimpleNamespace(trapezoid=new, trapz=old)) is new
+
+    def test_falls_back_to_trapz(self):
+        from types import SimpleNamespace
+
+        from repro.eval.metrics import _resolve_trapezoid
+
+        old = lambda y, x: "old"
+        assert _resolve_trapezoid(SimpleNamespace(trapz=old)) is old
+
+    def test_raises_when_neither_exists(self):
+        from types import SimpleNamespace
+
+        from repro.eval.metrics import _resolve_trapezoid
+
+        with pytest.raises(AttributeError, match="neither trapezoid nor trapz"):
+            _resolve_trapezoid(SimpleNamespace())
+
+    def test_area_above_curve_value(self):
+        # Straight line from (0, 0) to (100, 100): area above is exactly 50.
+        assert area_above_curve([0.0, 100.0], [0.0, 100.0]) == pytest.approx(50.0)

@@ -1,0 +1,143 @@
+"""Tests for trace loading/validation and summarization."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import TraceError, load_trace, summarize_trace, summarize_trace_file
+
+
+def write_lines(path, lines):
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+
+
+META = {"kind": "meta", "version": obs.TRACE_SCHEMA_VERSION, "created_s": 0.0, "pid": 1}
+
+
+class TestLoadTrace:
+    def test_valid_trace_round_trips(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        lines = [META, {"kind": "span", "name": "s", "id": 1, "dur_s": 0.1}]
+        write_lines(path, lines)
+        assert load_trace(path) == lines
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text(json.dumps(META) + "\nnot-json\n")
+        with pytest.raises(TraceError, match=r":2: invalid JSON"):
+            load_trace(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text(json.dumps(META) + "\n[1, 2]\n")
+        with pytest.raises(TraceError, match="expected a JSON object"):
+            load_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        write_lines(path, [META, {"kind": "mystery"}])
+        with pytest.raises(TraceError, match="unknown record kind"):
+            load_trace(path)
+
+    def test_missing_meta_header_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        write_lines(path, [{"kind": "span", "name": "s"}])
+        with pytest.raises(TraceError, match="meta header"):
+            load_trace(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        write_lines(path, [dict(META, version=obs.TRACE_SCHEMA_VERSION + 1)])
+        with pytest.raises(TraceError, match="unsupported trace schema version"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty trace"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text(json.dumps(META) + "\n\n\n")
+        assert load_trace(path) == [META]
+
+
+class TestSummarizeTrace:
+    def test_iterations_extracted_and_sorted(self):
+        records = [
+            META,
+            {
+                "kind": "span",
+                "name": "session.iteration",
+                "dur_s": 0.2,
+                "attrs": {"iteration": 2, "labels_provided": 2},
+            },
+            {
+                "kind": "span",
+                "name": "session.iteration",
+                "dur_s": 0.1,
+                "attrs": {"iteration": 1, "labels_provided": 1},
+            },
+        ]
+        summary = summarize_trace(records)
+        assert [row["iteration"] for row in summary.iterations] == [1, 2]
+        assert summary.iterations[0]["dur_s"] == pytest.approx(0.1)
+
+    def test_stages_aggregated_largest_first(self):
+        records = [
+            META,
+            {"kind": "span", "name": "fast", "dur_s": 0.1},
+            {"kind": "span", "name": "slow", "dur_s": 1.0},
+            {"kind": "span", "name": "slow", "dur_s": 2.0},
+        ]
+        summary = summarize_trace(records)
+        assert [stage.name for stage in summary.stages] == ["slow", "fast"]
+        slow = summary.stages[0]
+        assert slow.calls == 2
+        assert slow.total_seconds == pytest.approx(3.0)
+        assert slow.mean_seconds == pytest.approx(1.5)
+
+    def test_counts_and_metrics(self):
+        records = [
+            META,
+            {"kind": "span", "name": "s", "dur_s": 0.0},
+            {"kind": "event", "name": "invariant.violation", "attrs": {}},
+            {"kind": "event", "name": "other", "attrs": {}},
+            {"kind": "metrics", "metrics": {"engine.pairs_scored": 9}},
+            {"kind": "summary", "span_seconds": {}, "span_calls": {}},
+        ]
+        summary = summarize_trace(records)
+        assert summary.version == obs.TRACE_SCHEMA_VERSION
+        assert summary.num_records == len(records)
+        assert summary.num_spans == 1
+        assert summary.num_events == 2
+        assert summary.invariant_violations == 1
+        assert summary.metrics == {"engine.pairs_scored": 9}
+
+    def test_in_memory_tracer_records_summarizable(self):
+        # Tracer.records (no file, no meta header) also summarize.
+        tracer = obs.Tracer()
+        with tracer.span("a"):
+            pass
+        summary = summarize_trace(tracer.records)
+        assert summary.version is None
+        assert summary.num_spans == 1
+
+
+class TestSummarizeTraceFile:
+    def test_real_tracer_output_summarizes(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        tracer = obs.Tracer(path)
+        with tracer.span("session.iteration", iteration=1, labels_provided=1):
+            with tracer.span("lsm.predict"):
+                pass
+        tracer.close()
+        summary = summarize_trace_file(path)
+        assert summary.version == obs.TRACE_SCHEMA_VERSION
+        assert len(summary.iterations) == 1
+        assert {stage.name for stage in summary.stages} == {
+            "session.iteration",
+            "lsm.predict",
+        }

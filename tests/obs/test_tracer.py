@@ -1,0 +1,186 @@
+"""Tests for the structured tracer and the ambient span/check helpers."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import _NULL_SPAN_CONTEXT
+
+
+class TestNullTracer:
+    def test_is_the_ambient_default(self):
+        assert obs.current_tracer() is obs.NULL_TRACER
+        assert not obs.enabled()
+
+    def test_span_returns_shared_noop_context(self):
+        # No per-call allocation on the untraced hot path.
+        assert obs.NULL_TRACER.span("x") is _NULL_SPAN_CONTEXT
+        with obs.span("anything", attr=1) as span:
+            span.set(more=2)
+            span.add(count=3)
+
+    def test_event_flush_close_are_noops(self):
+        obs.NULL_TRACER.event("e", a=1)
+        obs.NULL_TRACER.flush()
+        obs.NULL_TRACER.close()
+
+
+class TestTracerSpans:
+    def test_nesting_records_parent_and_depth(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = tracer.records
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent"] == outer.span_id
+        assert inner_rec["depth"] == 1
+        assert outer_rec["name"] == "outer"
+        assert outer_rec["parent"] is None
+        assert outer_rec["depth"] == 0
+        assert outer_rec["dur_s"] >= inner_rec["dur_s"] >= 0.0
+
+    def test_attrs_set_and_add(self):
+        tracer = obs.Tracer()
+        with tracer.span("s", initial=1) as span:
+            span.set(label="x")
+            span.add(count=2)
+            span.add(count=3)
+        (record,) = tracer.records
+        assert record["attrs"] == {"initial": 1, "label": "x", "count": 5}
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad")
+        (record,) = tracer.records
+        assert record["attrs"]["error"] == "ValueError: bad"
+
+    def test_span_counters_accumulate(self):
+        tracer = obs.Tracer()
+        for _ in range(3):
+            with tracer.span("repeat"):
+                pass
+        assert tracer.span_calls["repeat"] == 3
+        assert tracer.span_seconds["repeat"] >= 0.0
+
+    def test_thread_safety_smoke(self):
+        tracer = obs.Tracer()
+
+        def work():
+            for _ in range(50):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.span_calls["t"] == 200
+        assert len(tracer.records) == 200
+
+
+class TestNdjsonFile:
+    def test_meta_header_first_and_lines_parse(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        tracer = obs.Tracer(path)
+        with tracer.span("a", n=1):
+            pass
+        tracer.event("e", ok=True)
+        tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [line["kind"] for line in lines]
+        assert kinds == ["meta", "span", "event", "summary"]
+        assert lines[0]["version"] == obs.TRACE_SCHEMA_VERSION
+
+    def test_crash_leaves_parseable_prefix(self, tmp_path):
+        # Per-line flush: even without close(), written lines are valid JSON.
+        path = tmp_path / "trace.ndjson"
+        tracer = obs.Tracer(path)
+        with tracer.span("only"):
+            pass
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["meta", "span"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        tracer = obs.Tracer(path)
+        with tracer.span("s"):
+            pass
+        tracer.close()
+        size = path.stat().st_size
+        tracer.close()
+        assert path.stat().st_size == size
+
+    def test_metrics_tail_from_registry(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        registry.register("unit", lambda: {"value": 7})
+        path = tmp_path / "trace.ndjson"
+        tracer = obs.Tracer(path, registry=registry)
+        with tracer.span("s"):
+            pass
+        tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        metrics = [line for line in lines if line["kind"] == "metrics"]
+        assert metrics and metrics[0]["metrics"] == {"unit.value": 7}
+
+    def test_numpy_attrs_serialize(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trace.ndjson"
+        tracer = obs.Tracer(path)
+        with tracer.span("s", count=np.int64(3), score=np.float64(0.5)):
+            pass
+        tracer.close()
+        span = next(
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["kind"] == "span"
+        )
+        assert span["attrs"] == {"count": 3, "score": 0.5}
+
+
+class TestAmbientActivation:
+    def test_activated_swaps_and_restores(self):
+        tracer = obs.Tracer()
+        with obs.activated(tracer):
+            assert obs.current_tracer() is tracer
+            assert obs.enabled()
+            with obs.span("via-ambient"):
+                pass
+        assert obs.current_tracer() is obs.NULL_TRACER
+        assert tracer.span_calls["via-ambient"] == 1
+
+    def test_activated_none_means_null(self):
+        with obs.activated(None):
+            assert obs.current_tracer() is obs.NULL_TRACER
+
+    def test_activation_is_reentrant(self):
+        first, second = obs.Tracer(), obs.Tracer()
+        with obs.activated(first):
+            with obs.activated(second):
+                assert obs.current_tracer() is second
+            assert obs.current_tracer() is first
+
+
+class TestCheck:
+    def test_noop_when_tracing_off(self):
+        obs.check("anything", False, detail=1)  # must not raise
+
+    def test_raises_and_records_event_when_on(self):
+        tracer = obs.Tracer()
+        with obs.activated(tracer):
+            obs.check("fine", True)
+            with pytest.raises(obs.InvariantViolation, match="broken"):
+                obs.check("broken", False, expected=0, got=3)
+        events = [rec for rec in tracer.records if rec["kind"] == "event"]
+        assert len(events) == 1
+        assert events[0]["name"] == "invariant.violation"
+        assert events[0]["attrs"] == {"check": "broken", "expected": 0, "got": 3}
+
+    def test_violation_is_assertion_error(self):
+        assert issubclass(obs.InvariantViolation, AssertionError)

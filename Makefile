@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity bench-engine bench-train trace-smoke
+.PHONY: verify test parity bench-engine bench-train bench-serving trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -20,6 +20,11 @@ bench-engine:
 ## Training perf smoke (tier-2): emits BENCH_train.json at the repo root.
 bench-train:
 	$(PYTHON) -m pytest -q benchmarks/test_train_throughput.py
+
+## Serving-plane latency smoke (tier-2): post-update time-to-first-score,
+## hot-swap vs respawn at 4 workers; emits BENCH_serving.json at the root.
+bench-serving:
+	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_serving_latency.py
 
 ## Observability smoke (tier-2): traced session on customer A, NDJSON
 ## well-formedness + iteration parity + `repro trace summarize` rendering.

@@ -16,9 +16,11 @@ Commands
     integrity scan, or a sweep of every cached file.
 ``engine stats [--dataset D] [--workers N] [--microbatch B] [--fast]``
     Exercise the batched scoring engine on a dataset (two ``predict()``
-    passes plus one label) and print its per-stage timings and incremental
-    re-scoring counters.  ``--fast`` uses tiny artefacts for a quick smoke
-    run instead of the full per-vertical pre-training.
+    passes plus one label) and print its per-stage timings, incremental
+    re-scoring counters and -- when workers are enabled -- the serving-plane
+    state (``serving.*`` rows: shm arena version/bytes, pool liveness,
+    hot-swap and respawns-avoided counts).  ``--fast`` uses tiny artefacts
+    for a quick smoke run instead of the full per-vertical pre-training.
 ``train stats [--dataset D] [--labels N] [--fast]``
     Exercise the training fast path: MLM pre-training (when artefacts are
     built fresh), classifier pre-training, and ``--labels`` incremental
@@ -284,6 +286,11 @@ def _cmd_engine(args: argparse.Namespace) -> None:
     if isinstance(requested, int) and requested:
         print(f"Incremental re-scoring skipped {skipped}/{requested} pair scorings "
               f"({100.0 * int(skipped) / requested:.0f}%).")
+    hot_swaps = stats.get("hot_swaps", 0)
+    respawns_avoided = stats.get("respawns_avoided", 0)
+    if isinstance(hot_swaps, int) and (hot_swaps or respawns_avoided):
+        print(f"Serving plane absorbed {respawns_avoided} weight update(s) "
+              f"with {hot_swaps} worker hot-swap(s) and zero pool respawns.")
 
 
 def _cmd_train(args: argparse.Namespace) -> None:

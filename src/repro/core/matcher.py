@@ -281,11 +281,14 @@ class LearnedSchemaMatcher:
 
         The engine counters (``pairs_skipped``, stage times, worker batches)
         come from the BERT featurizer's :class:`repro.engine.ScoringEngine`;
-        ``pipeline.<name>`` entries are cumulative seconds per featurizer.
+        ``serving.*`` entries describe its serving plane (shm arena version,
+        pool liveness, scratch segment); ``pipeline.<name>`` entries are
+        cumulative seconds per featurizer.
         """
         payload: dict[str, object] = {}
         if self.bert_featurizer is not None:
             payload.update(self.bert_featurizer.engine.stats.as_dict())
+            payload.update(self.bert_featurizer.engine.serving_info())
         for name, seconds in self.pipeline.timings().items():
             payload[f"pipeline.{name}"] = round(seconds, 6)
         return payload
@@ -302,9 +305,21 @@ class LearnedSchemaMatcher:
         return self.bert_featurizer.train_stats.as_dict()
 
     def close(self) -> None:
-        """Release featurizer resources and finalise the trace (if any)."""
+        """Release featurizer resources and finalise the trace (if any).
+
+        This tears down the scoring engine's serving plane -- the persistent
+        worker pool and every shared-memory segment it owns -- so it must be
+        called (or the matcher used as a context manager) to avoid leaking
+        ``/dev/shm`` segments past the process's lifetime.
+        """
         self.pipeline.close()
         self.tracer.close()
+
+    def __enter__(self) -> "LearnedSchemaMatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- results -------------------------------------------------------------------
 

@@ -10,16 +10,21 @@ encoded candidate pairs it
 2. plans the remaining pairs into **length-bucketed micro-batches**
    (:mod:`repro.engine.batching`) so short names stop paying the padding
    cost of long descriptions;
-3. executes the plan **in-process or on a spawn-safe worker pool**
-   (:mod:`repro.engine.executor`), falling back gracefully when workers are
-   unavailable or the batch is too small to amortise IPC;
+3. executes the plan down a **serving ladder** -- the persistent
+   shared-memory pool (:mod:`repro.engine.shm`: weights hot-swapped through
+   a versioned arena, workers spawned once per session), then the
+   pickle-payload pool (:mod:`repro.engine.executor`), then in-process --
+   falling one rung at a time whenever a rung is unavailable, fails, or the
+   batch is too small to amortise IPC;
 4. **persists score blocks** through :mod:`repro.store`, keyed by the exact
    model weights, so re-running an experiment skips straight to cached
    scores across processes.
 
 Model updates call :meth:`ScoringEngine.invalidate_model`; that bumps the
-version, drops stale scores and triggers a worker-pool refresh with the new
-weights on the next scoring call.
+version and drops stale scores.  With the serving plane live the new
+weights are hot-published into the shared-memory arena immediately -- the
+pool survives and workers re-bind views on their next task; only the
+fallback pickle pool still pays a teardown + respawn per version.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import numpy as np
 
 from .. import obs
 from ..lm.tokenizer import EncodedPair
+from . import shm
 from .batching import plan_microbatches, plan_num_buckets
 from .executor import MicroBatchExecutor, make_worker_payload
 from .stats import EngineStats
@@ -62,6 +68,20 @@ class EngineConfig:
         exact model weights and pair contents.
     start_method:
         Multiprocessing start method; ``spawn`` is safe everywhere.
+    use_shm:
+        Serve from the persistent shared-memory plane when available
+        (:mod:`repro.engine.shm`): workers spawn once per session and weight
+        updates hot-swap through the arena instead of respawning the pool.
+        ``False`` (or ``REPRO_DISABLE_SHM=1``) drops straight to the
+        pickle-payload pool.
+    shm_scratch_min_bytes:
+        Plans whose input arrays total at least this many bytes travel
+        through the reusable shared-memory scratch region instead of being
+        pickled per task.
+    pool_retry_cooldown / pool_max_failures:
+        Bounded-retry policy for pool creation (both rungs): after a
+        failure, skip this many eligible scoring calls before re-attempting,
+        giving up for good after ``pool_max_failures`` consecutive failures.
     """
 
     microbatch_size: int = 64
@@ -70,6 +90,10 @@ class EngineConfig:
     min_pairs_for_workers: int = 64
     persist_scores: bool = True
     start_method: str = "spawn"
+    use_shm: bool = True
+    shm_scratch_min_bytes: int = 1 << 18
+    pool_retry_cooldown: int = 8
+    pool_max_failures: int = 3
 
     def __post_init__(self) -> None:
         if self.microbatch_size < 1:
@@ -78,6 +102,12 @@ class EngineConfig:
             raise ValueError("bucket_granularity must be >= 1")
         if self.n_workers < 0:
             raise ValueError("n_workers must be >= 0")
+        if self.shm_scratch_min_bytes < 0:
+            raise ValueError("shm_scratch_min_bytes must be >= 0")
+        if self.pool_retry_cooldown < 0:
+            raise ValueError("pool_retry_cooldown must be >= 0")
+        if self.pool_max_failures < 1:
+            raise ValueError("pool_max_failures must be >= 1")
 
 
 def fingerprint_encoded(pair: EncodedPair) -> bytes:
@@ -114,8 +144,32 @@ class ScoringEngine:
         self._weights_key: str | None = None
         self._persisted_loaded = False
         self._executor = MicroBatchExecutor(
-            self.config.n_workers, self.config.start_method
+            self.config.n_workers,
+            self.config.start_method,
+            retry_cooldown=self.config.pool_retry_cooldown,
+            max_pool_failures=self.config.pool_max_failures,
         )
+        #: Top rung of the serving ladder; ``None`` when shm is disabled or
+        #: unavailable, in which case scoring starts at the pickle pool.
+        self._plane: shm.ShmServingPlane | None = None
+        if (
+            self.config.use_shm
+            and self.config.n_workers > 0
+            and shm.shared_memory_available()
+        ):
+            self._plane = shm.ShmServingPlane(
+                n_workers=self.config.n_workers,
+                start_method=self.config.start_method,
+                bootstrap_extra={
+                    "bert_config": self.model.config.to_dict(),
+                    "hidden_size": self.model.config.hidden_size,
+                    "classifier_size": self.classifier.output.weight.value.shape[0],
+                    "special_ids": self.special_ids,
+                },
+                scratch_min_bytes=self.config.shm_scratch_min_bytes,
+                retry_cooldown=self.config.pool_retry_cooldown,
+                max_pool_failures=self.config.pool_max_failures,
+            )
 
     # -- model versioning --------------------------------------------------------
 
@@ -124,12 +178,31 @@ class ScoringEngine:
         return self._version
 
     def invalidate_model(self) -> None:
-        """Signal that model/classifier weights changed: cached scores are stale."""
+        """Signal that model/classifier weights changed: cached scores are stale.
+
+        With a live serving plane the new weights are hot-published into the
+        shared-memory arena right here, so the persistent pool's workers
+        swap versions on their next task and the first post-update scoring
+        call pays no publish latency -- the pool is never torn down.
+        """
         self._version += 1
         self._scores.clear()
         self._weights_key = None
         self._persisted_loaded = False
         self.stats.invalidations += 1
+        if self._plane is not None and self._plane.pool_active:
+            self._plane.publish(self._weight_tensors, self._version, self.stats)
+
+    def _weight_tensors(self) -> list[tuple[str, np.ndarray]]:
+        """Prefixed flat walk of the live weights, for arena publishes."""
+        from ..nn.serialize import flat_tensors
+
+        return [
+            (f"model.{name}", array) for name, array in flat_tensors(self.model)
+        ] + [
+            (f"classifier.{name}", array)
+            for name, array in flat_tensors(self.classifier)
+        ]
 
     def clear_cached_scores(self) -> None:
         """Drop cached scores without bumping the model version (testing aid)."""
@@ -212,26 +285,63 @@ class ScoringEngine:
         return results
 
     def _score_plan(self, plan) -> list[np.ndarray]:
+        """Execute a plan down the serving ladder.
+
+        Rung 1 is the persistent shared-memory pool (weights hot-swapped,
+        never respawned), rung 2 the pickle-payload pool (respawned per
+        model version), rung 3 in-process scoring.  Each rung is
+        best-effort: any failure falls to the next, preserving parity.
+        """
         total_pairs = sum(len(microbatch.indices) for microbatch in plan)
-        use_workers = (
-            self._executor.available
+        eligible = (
+            self.config.n_workers > 0
             and len(plan) > 1
             and total_pairs >= self.config.min_pairs_for_workers
         )
-        if use_workers:
-            with self.stats.timer("dispatch"):
-                payload = make_worker_payload(
-                    self.model, self.classifier, self.special_ids
-                )
-                ready = self._executor.ensure_pool(payload, self._version)
-            if ready:
-                with self.stats.timer("forward"):
-                    results = self._executor.map(plan)
-                if results is not None:
-                    self.stats.worker_batches += len(plan)
-                    return results
+        if eligible:
+            results = self._score_plan_shm(plan)
+            if results is not None:
+                self.stats.worker_batches += len(plan)
+                self.stats.shm_batches += len(plan)
+                return results
+            results = self._score_plan_pool(plan)
+            if results is not None:
+                self.stats.worker_batches += len(plan)
+                return results
             self.stats.worker_fallbacks += 1
         return self._score_plan_inprocess(plan)
+
+    def _score_plan_shm(self, plan) -> list[np.ndarray] | None:
+        """Rung 1: the persistent shared-memory serving plane."""
+        if self._plane is None or not self._plane.usable:
+            return None
+        results = self._plane.score(
+            plan, self._version, self._weight_tensors, self.stats
+        )
+        if results is None:
+            self.stats.shm_fallbacks += 1
+        return results
+
+    def _score_plan_pool(self, plan) -> list[np.ndarray] | None:
+        """Rung 2: the pickle-payload pool (full respawn per model version).
+
+        The payload factory is only invoked when the pool actually has to be
+        (re)built -- steady-state calls at an unchanged version skip the
+        state-dict pickling entirely.
+        """
+        if not self._executor.available:
+            return None
+        with self.stats.timer("dispatch"):
+            ready = self._executor.ensure_pool(
+                lambda: make_worker_payload(
+                    self.model, self.classifier, self.special_ids
+                ),
+                self._version,
+            )
+        if not ready:
+            return None
+        with self.stats.timer("forward"):
+            return self._executor.map(plan)
 
     def score_encoded(self, encoded: list[EncodedPair]) -> np.ndarray:
         """Scores in [0, 1] for ``encoded``, reusing everything reusable."""
@@ -282,9 +392,24 @@ class ScoringEngine:
                 self._save_persisted()
         return scores
 
+    def serving_info(self) -> dict[str, object]:
+        """Current serving-plane state (arena, pool, scratch), for the CLI."""
+        payload: dict[str, object] = {
+            "serving.use_shm": self.config.use_shm,
+            "serving.shm_available": shm.shared_memory_available(),
+            "serving.n_workers": self.config.n_workers,
+        }
+        if self._plane is not None:
+            payload.update(
+                {f"serving.{key}": value for key, value in self._plane.info().items()}
+            )
+        return payload
+
     def close(self) -> None:
-        """Release the worker pool (idempotent; safe to call repeatedly)."""
+        """Release pools and unlink every shared-memory segment (idempotent)."""
         self._executor.close()
+        if self._plane is not None:
+            self._plane.close()
 
     def __del__(self) -> None:  # best-effort cleanup
         try:

@@ -7,17 +7,26 @@ matching classifier once, from a pickled state-dict payload passed through
 the pool initializer; tasks then carry only the micro-batch arrays, so
 per-task IPC stays proportional to the batch, not the model.
 
+This is the **middle rung** of the engine's serving ladder: the preferred
+path is the persistent shared-memory pool (:mod:`repro.engine.shm`), which
+never respawns on weight updates; this pickle-payload pool is the fallback
+when shared memory is unavailable, and in-process scoring is the fallback
+below it.
+
 The executor degrades gracefully: if the pool cannot be created (missing
-semaphores in sandboxes, resource limits) or a map call fails mid-flight, it
-marks itself broken and the engine falls back to in-process scoring -- a
-parity-preserving slowdown, never an error.
+semaphores in sandboxes, resource limits) or a map call fails mid-flight,
+the engine falls back to in-process scoring -- a parity-preserving slowdown,
+never an error.  Failures are *not* sticky forever: a :class:`RetryGate`
+re-allows pool creation after a cooldown of eligible calls, bounded by a
+total attempt budget, so one transient resource blip does not disable
+parallel scoring for the rest of the session.
 """
 
 from __future__ import annotations
 
 import logging
 import pickle
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -28,6 +37,50 @@ logger = logging.getLogger(__name__)
 
 #: Worker-process scoring context, built once per pool by :func:`_init_worker`.
 _WORKER_CONTEXT: dict | None = None
+
+
+class RetryGate:
+    """Bounded retry policy for best-effort pool creation.
+
+    One transient failure (a resource-limit blip, a full semaphore table)
+    must not disable parallel scoring for the executor's whole lifetime.
+    After a failure the gate holds the door shut for ``cooldown`` eligible
+    attempts, then lets one through; ``max_failures`` consecutive failures
+    exhaust the gate for good.  A success resets the failure count, so a
+    long-lived session survives occasional blips indefinitely.
+    """
+
+    def __init__(self, cooldown: int = 8, max_failures: int = 3) -> None:
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        self.cooldown = cooldown
+        self.max_failures = max_failures
+        self.failures = 0
+        self._skips_remaining = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """No further attempts will ever be allowed."""
+        return self.failures >= self.max_failures
+
+    def may_attempt(self) -> bool:
+        """Whether the caller may try (or retry) the guarded operation now."""
+        if self.exhausted:
+            return False
+        if self._skips_remaining > 0:
+            self._skips_remaining -= 1
+            return False
+        return True
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._skips_remaining = self.cooldown
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._skips_remaining = 0
 
 
 def make_worker_payload(model, classifier, special_ids: Sequence[int]) -> bytes:
@@ -88,25 +141,42 @@ def _score_in_worker(arrays: tuple[np.ndarray, np.ndarray, np.ndarray]) -> np.nd
 class MicroBatchExecutor:
     """A lazily created, payload-versioned worker pool for micro-batches."""
 
-    def __init__(self, n_workers: int, start_method: str = "spawn") -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str = "spawn",
+        retry_cooldown: int = 8,
+        max_pool_failures: int = 3,
+    ) -> None:
         self.n_workers = n_workers
         self.start_method = start_method
         self._pool = None
         self._payload_version: int | None = None
-        self._broken = False
+        self._gate = RetryGate(cooldown=retry_cooldown, max_failures=max_pool_failures)
 
     @property
     def available(self) -> bool:
         """Whether parallel execution is worth attempting at all."""
-        return self.n_workers > 0 and not self._broken
+        return self.n_workers > 0 and not self._gate.exhausted
 
-    def ensure_pool(self, payload: bytes, version: int) -> bool:
-        """(Re)create the pool if the model payload changed; True on success."""
+    def ensure_pool(
+        self, payload: bytes | Callable[[], bytes], version: int
+    ) -> bool:
+        """(Re)create the pool if the model payload changed; True on success.
+
+        ``payload`` may be the pickled payload itself or a zero-argument
+        factory for it; the factory is only invoked when the pool actually
+        has to be (re)built, so steady-state scoring calls never pay the
+        full state-dict pickling cost.
+        """
         if not self.available:
             return False
         if self._pool is not None and self._payload_version == version:
             return True
+        if not self._gate.may_attempt():
+            return False
         self.close()
+        payload_bytes = payload() if callable(payload) else payload
         try:
             import multiprocessing
 
@@ -114,9 +184,10 @@ class MicroBatchExecutor:
             self._pool = context.Pool(
                 processes=self.n_workers,
                 initializer=_init_worker,
-                initargs=(payload,),
+                initargs=(payload_bytes,),
             )
             self._payload_version = version
+            self._gate.record_success()
             return True
         except Exception:  # pool creation is best-effort by design
             logger.warning(
@@ -124,7 +195,7 @@ class MicroBatchExecutor:
                 exc_info=True,
             )
             self._pool = None
-            self._broken = True
+            self._gate.record_failure()
             return False
 
     def map(self, plan: Sequence[MicroBatch]) -> list[np.ndarray] | None:
@@ -143,7 +214,7 @@ class MicroBatchExecutor:
                 exc_info=True,
             )
             self.close()
-            self._broken = True
+            self._gate.record_failure()
             return None
 
     def close(self) -> None:

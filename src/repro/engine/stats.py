@@ -32,12 +32,25 @@ class EngineStats:
     buckets: int = 0
     #: Micro-batches executed (in-process + workers).
     microbatches: int = 0
-    #: Micro-batches executed by pool workers.
+    #: Micro-batches executed by pool workers (shm or pickle pool).
     worker_batches: int = 0
+    #: Micro-batches executed on the persistent shared-memory pool.
+    shm_batches: int = 0
     #: Micro-batches executed in-process (n_workers=0, small batches, fallback).
     inprocess_batches: int = 0
     #: Times the worker pool failed and the engine fell back in-process.
     worker_fallbacks: int = 0
+    #: Times the shm serving plane failed and the engine fell down the ladder.
+    shm_fallbacks: int = 0
+    #: Weight publishes into the shared-memory arena.
+    publishes: int = 0
+    #: Total bytes copied into the arena across all publishes.
+    publish_bytes: int = 0
+    #: Worker-side weight (re)binds to a freshly published arena version.
+    hot_swaps: int = 0
+    #: Weight updates absorbed by a live pool that the respawn lifecycle
+    #: would have paid a full teardown + N process spawns for.
+    respawns_avoided: int = 0
     #: Model-version bumps (weight updates invalidating cached scores).
     invalidations: int = 0
     #: Calls to ``score_encoded``.
@@ -87,8 +100,14 @@ class EngineStats:
                 "buckets",
                 "microbatches",
                 "worker_batches",
+                "shm_batches",
                 "inprocess_batches",
                 "worker_fallbacks",
+                "shm_fallbacks",
+                "publishes",
+                "publish_bytes",
+                "hot_swaps",
+                "respawns_avoided",
                 "invalidations",
                 "scoring_calls",
             )

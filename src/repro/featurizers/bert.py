@@ -636,6 +636,9 @@ class BertFeaturizer:
                 stats.samples += len(index)
         self.model.eval()
         self.classifier.eval()
+        # Bumps the engine's model version; when the shm serving plane has a
+        # live pool this also hot-publishes the new weights into the shared
+        # arena, so the pool absorbs the update without a respawn.
         self.engine.invalidate_model()
         return losses
 

@@ -1,0 +1,297 @@
+"""Fault injection for the serving ladder: every rung degrades, none errors.
+
+Covers the :class:`RetryGate` policy, lazy payload construction, pool
+recovery after transient creation failures, worker death mid-map, shm
+segment-creation failure (falls to the pickle rung) and the fully disabled
+shm plane (``REPRO_DISABLE_SHM``) -- each case asserting bit-identical
+scores, the right fallback counters and no leaked ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    MicroBatchExecutor,
+    RetryGate,
+    ScoringEngine,
+    live_segment_names,
+)
+from repro.featurizers.bert import MatchingClassifier, score_encoded_batch
+from repro.lm.bert import MiniBert
+from repro.lm.config import BertConfig
+from repro.lm.tokenizer import EncodedPair, stack_encoded
+
+
+def encoded_of_length(length: int, width: int = 32, fill: int = 7) -> EncodedPair:
+    input_ids = np.zeros(width, dtype=np.int64)
+    input_ids[:length] = fill
+    attention = np.zeros(width, dtype=np.int64)
+    attention[:length] = 1
+    segment = np.zeros(width, dtype=np.int64)
+    segment[length // 2 : length] = 1
+    return EncodedPair(input_ids=input_ids, segment_ids=segment, attention_mask=attention)
+
+
+@pytest.fixture(scope="module")
+def tiny_stack():
+    model = MiniBert(
+        BertConfig(vocab_size=50, hidden_size=16, num_layers=1, num_heads=2,
+                   intermediate_size=32, max_position=32),
+        seed=0,
+    )
+    model.eval()
+    classifier = MatchingClassifier(16, 8, np.random.default_rng(1))
+    classifier.eval()
+    return model, classifier, [0, 1, 2, 3, 4]
+
+
+@pytest.fixture
+def encoded():
+    return [encoded_of_length(length, fill=5) for length in (4, 9, 14, 20, 6, 11)]
+
+
+class TestRetryGate:
+    def test_cooldown_then_retry(self):
+        gate = RetryGate(cooldown=2, max_failures=3)
+        assert gate.may_attempt()
+        gate.record_failure()
+        # Two eligible calls are skipped, the third is let through.
+        assert not gate.may_attempt()
+        assert not gate.may_attempt()
+        assert gate.may_attempt()
+
+    def test_exhaustion_is_permanent(self):
+        gate = RetryGate(cooldown=0, max_failures=2)
+        gate.record_failure()
+        gate.record_failure()
+        assert gate.exhausted
+        assert not gate.may_attempt()
+
+    def test_success_resets_failures(self):
+        gate = RetryGate(cooldown=0, max_failures=2)
+        gate.record_failure()
+        gate.record_success()
+        gate.record_failure()
+        assert not gate.exhausted
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError, match="cooldown"):
+            RetryGate(cooldown=-1)
+        with pytest.raises(ValueError, match="max_failures"):
+            RetryGate(max_failures=0)
+
+
+class _FailNTimesContext:
+    """A multiprocessing context whose Pool() fails the first ``n`` calls."""
+
+    def __init__(self, failures: int) -> None:
+        self.remaining_failures = failures
+        self.pools_created = 0
+
+    def Pool(self, processes, initializer, initargs):
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise OSError("synthetic resource blip")
+        self.pools_created += 1
+        return _StubPool()
+
+
+class _StubPool:
+    def map(self, fn, tasks, chunksize=1):
+        return [fn(task) for task in tasks]
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class _ExplodingPool:
+    """A pool whose map dies mid-flight (worker death / lost connection)."""
+
+    def map(self, fn, tasks, chunksize=1):
+        raise BrokenPipeError("worker died mid-map")
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class TestExecutorRetry:
+    def test_payload_factory_only_called_on_rebuild(self, monkeypatch):
+        import multiprocessing
+
+        context = _FailNTimesContext(failures=0)
+        monkeypatch.setattr(multiprocessing, "get_context", lambda method: context)
+        executor = MicroBatchExecutor(2)
+        calls = {"count": 0}
+
+        def factory() -> bytes:
+            calls["count"] += 1
+            return b"payload"
+
+        assert executor.ensure_pool(factory, version=0)
+        assert calls["count"] == 1
+        # Same version, pool alive: the factory must not run again.
+        assert executor.ensure_pool(factory, version=0)
+        assert calls["count"] == 1
+        # New version: rebuild, factory runs once more.
+        assert executor.ensure_pool(factory, version=1)
+        assert calls["count"] == 2
+        executor.close()
+
+    def test_transient_creation_failure_recovers_after_cooldown(self, monkeypatch):
+        import multiprocessing
+
+        context = _FailNTimesContext(failures=1)
+        monkeypatch.setattr(multiprocessing, "get_context", lambda method: context)
+        executor = MicroBatchExecutor(2, retry_cooldown=2, max_pool_failures=3)
+
+        assert not executor.ensure_pool(b"payload", version=0)
+        assert executor.available  # not sticky-broken anymore
+        # Two eligible calls ride out the cooldown, the third rebuilds.
+        assert not executor.ensure_pool(b"payload", version=0)
+        assert not executor.ensure_pool(b"payload", version=0)
+        assert executor.ensure_pool(b"payload", version=0)
+        assert context.pools_created == 1
+        executor.close()
+
+    def test_repeated_failures_exhaust_the_gate(self, monkeypatch):
+        import multiprocessing
+
+        context = _FailNTimesContext(failures=99)
+        monkeypatch.setattr(multiprocessing, "get_context", lambda method: context)
+        executor = MicroBatchExecutor(2, retry_cooldown=0, max_pool_failures=2)
+        assert not executor.ensure_pool(b"payload", version=0)
+        assert not executor.ensure_pool(b"payload", version=0)
+        assert executor._gate.exhausted
+        assert not executor.available
+
+
+class TestLadderFaults:
+    """End-to-end: induced faults fall down the ladder, scores stay exact."""
+
+    def _reference(self, tiny_stack, encoded) -> np.ndarray:
+        model, classifier, special_ids = tiny_stack
+        return score_encoded_batch(model, classifier, special_ids, stack_encoded(encoded))
+
+    def test_worker_death_mid_map_falls_back_with_parity(self, tiny_stack, encoded):
+        model, classifier, special_ids = tiny_stack
+        config = EngineConfig(
+            n_workers=2,
+            min_pairs_for_workers=1,
+            microbatch_size=2,
+            use_shm=False,
+            persist_scores=False,
+        )
+        engine = ScoringEngine(model, classifier, special_ids, config)
+        try:
+            # Plant a live-looking pool that dies on first use.
+            engine._executor._pool = _ExplodingPool()
+            engine._executor._payload_version = engine.model_version
+            scores = engine.score_encoded(encoded)
+            np.testing.assert_allclose(
+                scores, self._reference(tiny_stack, encoded), atol=1e-8, rtol=0
+            )
+            assert engine.stats.worker_fallbacks == 1
+            assert engine.stats.inprocess_batches > 0
+            # The dead pool was torn down, not left to poison later calls.
+            assert engine._executor._pool is None
+        finally:
+            engine.close()
+
+    def test_shm_segment_creation_failure_falls_to_pickle_pool(
+        self, tiny_stack, encoded, monkeypatch
+    ):
+        from repro.engine import shm as shm_module
+
+        def refuse(name, size):
+            raise OSError("no shared memory for you")
+
+        monkeypatch.setattr(shm_module, "_new_segment", refuse)
+        model, classifier, special_ids = tiny_stack
+        config = EngineConfig(
+            n_workers=2, min_pairs_for_workers=1, microbatch_size=2,
+            persist_scores=False,
+        )
+        engine = ScoringEngine(model, classifier, special_ids, config)
+        try:
+            scores = engine.score_encoded(encoded)
+            np.testing.assert_allclose(
+                scores, self._reference(tiny_stack, encoded), atol=1e-8, rtol=0
+            )
+            # The shm rung failed once, the pickle pool served the plan.
+            assert engine.stats.shm_fallbacks == 1
+            assert engine.stats.shm_batches == 0
+            assert engine.stats.worker_batches > 0
+            assert engine.stats.worker_fallbacks == 0
+        finally:
+            engine.close()
+        assert not live_segment_names()
+
+    def test_disabled_shm_serves_identically_via_fallback_ladder(
+        self, tiny_stack, encoded, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        model, classifier, special_ids = tiny_stack
+        config = EngineConfig(
+            n_workers=2, min_pairs_for_workers=1, microbatch_size=2,
+            persist_scores=False,
+        )
+        engine = ScoringEngine(model, classifier, special_ids, config)
+        try:
+            assert engine._plane is None
+            scores = engine.score_encoded(encoded)
+            np.testing.assert_allclose(
+                scores, self._reference(tiny_stack, encoded), atol=1e-8, rtol=0
+            )
+            assert engine.stats.shm_batches == 0
+            assert engine.stats.worker_batches > 0
+            info = engine.serving_info()
+            assert info["serving.shm_available"] is False
+        finally:
+            engine.close()
+        assert not live_segment_names()
+
+    def test_stale_orphan_from_crashed_run_does_not_block_startup(
+        self, tiny_stack, encoded, monkeypatch
+    ):
+        """A leftover segment colliding with the arena's name is reclaimed."""
+        from multiprocessing import shared_memory
+
+        from repro.engine import shm as shm_module
+
+        monkeypatch.setattr(
+            shm_module.uuid, "uuid4", lambda: type("U", (), {"hex": "feedfeed" * 4})()
+        )
+        import os as _os
+
+        orphan_name = f"repro-{_os.getpid()}-feedfeed-ctrl"
+        orphan = shared_memory.SharedMemory(name=orphan_name, create=True, size=64)
+        orphan.buf[:8] = b"\xff" * 8  # garbage stamp from the "crashed" run
+        model, classifier, special_ids = tiny_stack
+        config = EngineConfig(
+            n_workers=2, min_pairs_for_workers=1, microbatch_size=2,
+            persist_scores=False,
+        )
+        engine = ScoringEngine(model, classifier, special_ids, config)
+        try:
+            scores = engine.score_encoded(encoded)
+            np.testing.assert_allclose(
+                scores, self._reference(tiny_stack, encoded), atol=1e-8, rtol=0
+            )
+            assert engine.stats.shm_batches > 0
+            assert engine.stats.worker_fallbacks == 0
+        finally:
+            engine.close()
+            try:
+                orphan.close()
+            except BufferError:
+                pass
+        assert not live_segment_names()

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity bench-engine bench-train bench-serving trace-smoke
+.PHONY: verify test parity bench-engine bench-train bench-serving bench-retrieval trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -25,6 +25,12 @@ bench-train:
 ## hot-swap vs respawn at 4 workers; emits BENCH_serving.json at the root.
 bench-serving:
 	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_serving_latency.py
+
+## Retrieval smoke (tier-2): retrieve-then-rerank vs full product on the
+## 10x-scaled ISS (speedup + identical matches + public recall gate);
+## emits BENCH_retrieval.json at the root.
+bench-retrieval:
+	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_retrieval.py
 
 ## Observability smoke (tier-2): traced session on customer A, NDJSON
 ## well-formedness + iteration parity + `repro trace summarize` rendering.

@@ -27,6 +27,11 @@ Commands
     human-label updates.  Prints the per-stage training timings, warm/cold
     optimiser starts and encode-cache counters (see
     :class:`repro.nn.TrainStats`).
+``retrieval {stats,gate} [--dataset D] [--k K]``
+    Candidate-generation diagnostics.  ``stats`` reports per-retriever and
+    fused recall@k plus the minimal lossless k on one dataset; ``gate``
+    runs the recall@k gate over every public ground-truth dataset and exits
+    non-zero if any true match would be pruned.
 ``trace summarize TRACE``
     Render an NDJSON trace (``repro session --trace`` or
     ``LsmConfig.trace_path``): the per-iteration session table, per-stage
@@ -346,6 +351,80 @@ def _cmd_train(args: argparse.Namespace) -> None:
     print(f"Optimiser starts: {warm} warm, {cold} cold.")
 
 
+def _cmd_retrieval(args: argparse.Namespace) -> None:
+    from .eval.retrieval import (
+        GATE_DATASETS,
+        cheap_embeddings,
+        task_generator,
+        task_minimal_recall_k,
+        task_recall_report,
+    )
+    from .retrieval import RetrievalConfig, candidate_recall
+
+    if args.action == "gate":
+        failed = False
+        rows = []
+        for name in GATE_DATASETS:
+            task = load_dataset(name)
+            report = task_recall_report(task, k=args.k)
+            minimal = task_minimal_recall_k(task)
+            rows.append(
+                [
+                    name,
+                    str(report.k),
+                    f"{report.num_hit}/{report.num_truth}",
+                    f"{report.recall:.3f}",
+                    str(minimal),
+                    "PASS" if report.passed else "FAIL",
+                ]
+            )
+            failed |= not report.passed
+        print(render_table(
+            ["dataset", "k", "retained", "recall", "minimal k", "gate"],
+            rows,
+            title=f"Recall@{args.k} gate (pruning may not drop a true match)",
+        ))
+        if failed:
+            raise SystemExit(1)
+        return
+
+    task = load_dataset(args.dataset)
+    if not task.ground_truth:
+        raise SystemExit(f"{args.dataset} has no ground truth to evaluate against")
+    source_refs = task.source.attribute_refs()
+    target_refs = task.target.attribute_refs()
+    rows = []
+    # One single-retriever configuration per signal, then the fused stack.
+    configurations = [
+        ("sparse", RetrievalConfig(use_dense=False, use_sparse=True, persist=False)),
+        ("dense", RetrievalConfig(use_dense=True, use_sparse=False, persist=False)),
+        ("fused", RetrievalConfig(persist=False)),
+    ]
+    embeddings = cheap_embeddings(task.target)
+    for label, config in configurations:
+        generator = task_generator(task, config=config, embeddings=embeddings)
+        sets = generator.generate(args.k)
+        report = candidate_recall(
+            sets, task.ground_truth, source_refs, target_refs, dataset=task.name
+        )
+        minimal = task_minimal_recall_k(task, config=config, embeddings=embeddings)
+        rows.append(
+            [
+                label,
+                f"{report.num_hit}/{report.num_truth}",
+                f"{report.recall:.3f}",
+                str(minimal),
+                str(sets.total_candidates()),
+                str(len(source_refs) * len(target_refs)),
+            ]
+        )
+    print(render_table(
+        ["retriever", "retained", f"recall@{args.k}", "minimal k", "candidates", "full product"],
+        rows,
+        title=f"Retrieval on {args.dataset} ({len(source_refs)} x {len(target_refs)} attributes)",
+    ))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Learned Schema Matcher reproduction CLI"
@@ -406,6 +485,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
     )
     train.set_defaults(func=_cmd_train)
+
+    retrieval = subparsers.add_parser(
+        "retrieval", help="candidate-generation diagnostics"
+    )
+    retrieval.add_argument("action", choices=["stats", "gate"])
+    retrieval.add_argument("--dataset", choices=ALL_NAMES, default="rdb_star")
+    retrieval.add_argument("--k", type=int, default=20)
+    retrieval.set_defaults(func=_cmd_retrieval)
 
     trace = subparsers.add_parser("trace", help="render an NDJSON pipeline trace")
     trace.add_argument("action", choices=["summarize"])

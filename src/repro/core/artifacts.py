@@ -200,7 +200,4 @@ def initialize_token_embeddings(
 
 def phrase_matrix(embeddings: SubwordEmbeddings, token_lists: list[list[str]]) -> np.ndarray:
     """Stacked L2-normalised phrase vectors (rows) for fast cosine blocks."""
-    matrix = np.stack([embeddings.phrase_vector(tokens) for tokens in token_lists])
-    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    norms[norms == 0.0] = 1.0
-    return matrix / norms
+    return embeddings.phrase_matrix(token_lists)

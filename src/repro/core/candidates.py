@@ -7,9 +7,17 @@ flat numpy index arrays so the training/prediction phases can slice by label
 state without Python loops, plus the :class:`AttributePairView` for each pair
 for the featurizers.
 
-Optional blocking (``keep_per_source``) retains only the most promising
-targets per source attribute according to externally supplied scores; see
-``LsmConfig.max_candidates_per_source`` for the rationale.
+Pruning (blocking) shrinks the pair set to the most promising targets per
+source attribute -- either score-based (:meth:`CandidateStore.prune`) or
+driven by the retrieval layer's per-source candidate sets
+(:meth:`CandidateStore.apply_candidate_sets`).  Two invariants hold through
+every pruning operation:
+
+* feedback is never lost: labeled pairs survive pruning, and labeling a
+  pruned pair (``set_positive``/``set_negative``) re-adds it first;
+* labels record their provenance: ``label_explicit`` distinguishes labels
+  the user actively produced from the sibling negatives ``set_positive``
+  mass-implies, so training can select the informative subset.
 """
 
 from __future__ import annotations
@@ -49,11 +57,17 @@ class CandidateStore:
         self.pair_source = np.repeat(np.arange(num_sources), num_targets)
         self.pair_target = np.tile(np.arange(num_targets), num_sources)
         self.labels = np.full(self.pair_source.shape[0], UNLABELED, dtype=np.int8)
+        #: True where the label came from a direct user action (accept/reject)
+        #: rather than the sibling negatives ``set_positive`` mass-implies.
+        self.label_explicit = np.zeros(self.pair_source.shape[0], dtype=bool)
         self._pair_index: dict[tuple[int, int], int] = {
             (int(s), int(t)): i
             for i, (s, t) in enumerate(zip(self.pair_source, self.pair_target))
         }
         self._views: list[AttributePairView | None] = [None] * self.num_pairs
+        #: Lazily built per-source pair-id lists; invalidated whenever the
+        #: pair arrays change shape (prune / ensure_pair).
+        self._groups: list[np.ndarray] | None = None
 
     # -- sizes / lookups ---------------------------------------------------------
 
@@ -103,9 +117,30 @@ class CandidateStore:
     def views(self, pair_ids: Iterable[int]) -> list[AttributePairView]:
         return [self.view(int(pair_id)) for pair_id in pair_ids]
 
+    def _source_groups(self) -> list[np.ndarray]:
+        """Per-source pair-id lists, built once per pair-array shape.
+
+        A single stable argsort over ``pair_source`` plus ``searchsorted``
+        boundaries replaces the per-source ``flatnonzero`` scan that made the
+        ranking loop O(sources x pairs).  The cache is dropped by
+        ``_apply_mask``/``ensure_pair``; label changes do not affect it.
+        """
+        if self._groups is None:
+            order = np.argsort(self.pair_source, kind="stable")
+            sorted_sources = self.pair_source[order]
+            bounds = np.searchsorted(sorted_sources, np.arange(self.num_sources + 1))
+            self._groups = [
+                order[bounds[i] : bounds[i + 1]] for i in range(self.num_sources)
+            ]
+        return self._groups
+
+    def pairs_of_source_index(self, source_index: int) -> np.ndarray:
+        """Flat indices of all pairs of one source attribute (cached)."""
+        return self._source_groups()[int(source_index)]
+
     def pairs_of_source(self, source: AttributeRef) -> np.ndarray:
         """Flat indices of all pairs whose source is ``source``."""
-        return np.flatnonzero(self.pair_source == self._source_index[source])
+        return self.pairs_of_source_index(self._source_index[source])
 
     # -- blocking -----------------------------------------------------------------
 
@@ -121,22 +156,67 @@ class CandidateStore:
             return
         keep_mask = np.zeros(self.num_pairs, dtype=bool)
         for source_index in range(self.num_sources):
-            pair_ids = np.flatnonzero(self.pair_source == source_index)
+            pair_ids = self.pairs_of_source_index(source_index)
             top = pair_ids[np.argsort(-scores[pair_ids], kind="stable")[:keep_per_source]]
             keep_mask[top] = True
         keep_mask |= self.labels != UNLABELED
         self._apply_mask(keep_mask)
+
+    def apply_candidate_sets(
+        self, per_source_targets: Sequence[np.ndarray]
+    ) -> tuple[int, int]:
+        """Reshape the pair set to the retrieval layer's candidate sets.
+
+        ``per_source_targets[i]`` lists the allowed target indices for source
+        ``i`` (one row per source attribute).  Pairs outside the sets are
+        dropped -- except labeled ones, which always survive -- and allowed
+        pairs that are currently absent (e.g. pruned by an earlier, stale
+        candidate set) are re-added.  Returns ``(added, removed)``.
+        """
+        if len(per_source_targets) != self.num_sources:
+            raise ValueError("candidate sets do not align with source attributes")
+        allowed = np.zeros((self.num_sources, self.num_targets), dtype=bool)
+        for source_index, targets in enumerate(per_source_targets):
+            allowed[source_index, np.asarray(targets, dtype=np.intp)] = True
+
+        keep_mask = allowed[self.pair_source, self.pair_target]
+        keep_mask |= self.labels != UNLABELED
+        removed = int(self.num_pairs - keep_mask.sum())
+        if removed:
+            self._apply_mask(keep_mask)
+
+        # Batch-append allowed pairs that are not currently present.
+        allowed[self.pair_source, self.pair_target] = False
+        missing_sources, missing_targets = np.nonzero(allowed)
+        added = int(missing_sources.size)
+        if added:
+            start = self.num_pairs
+            self.pair_source = np.concatenate([self.pair_source, missing_sources])
+            self.pair_target = np.concatenate([self.pair_target, missing_targets])
+            self.labels = np.concatenate(
+                [self.labels, np.full(added, UNLABELED, dtype=np.int8)]
+            )
+            self.label_explicit = np.concatenate(
+                [self.label_explicit, np.zeros(added, dtype=bool)]
+            )
+            self._views.extend([None] * added)
+            for offset, (s, t) in enumerate(zip(missing_sources, missing_targets)):
+                self._pair_index[(int(s), int(t))] = start + offset
+            self._groups = None
+        return added, removed
 
     def _apply_mask(self, keep_mask: np.ndarray) -> None:
         keep_ids = np.flatnonzero(keep_mask)
         self.pair_source = self.pair_source[keep_ids]
         self.pair_target = self.pair_target[keep_ids]
         self.labels = self.labels[keep_ids]
+        self.label_explicit = self.label_explicit[keep_ids]
         self._views = [self._views[int(i)] for i in keep_ids]
         self._pair_index = {
             (int(s), int(t)): i
             for i, (s, t) in enumerate(zip(self.pair_source, self.pair_target))
         }
+        self._groups = None
 
     def ensure_pair(self, source: AttributeRef, target: AttributeRef) -> int:
         """Return the pair's flat index, re-adding it if blocking pruned it.
@@ -153,9 +233,11 @@ class CandidateStore:
         self.pair_source = np.append(self.pair_source, source_index)
         self.pair_target = np.append(self.pair_target, target_index)
         self.labels = np.append(self.labels, np.int8(UNLABELED))
+        self.label_explicit = np.append(self.label_explicit, False)
         self._views.append(None)
         pair_id = self.num_pairs - 1
         self._pair_index[(source_index, target_index)] = pair_id
+        self._groups = None
         return pair_id
 
     # -- labels ---------------------------------------------------------------
@@ -164,24 +246,49 @@ class CandidateStore:
         """Record a confirmed match: positive pair + negatives for the rest.
 
         Following §IV-E1, once the correct target is known every other pair
-        of the same source attribute becomes a negative.
+        of the same source attribute becomes a negative.  Only the positive
+        itself is *explicit*; the sibling negatives are implied and keep any
+        explicit flag they earned from an earlier direct rejection.
         """
         pair_id = self.ensure_pair(source, target)
         mask = self.pair_source == self._source_index[source]
         self.labels[mask] = NEGATIVE
         self.labels[pair_id] = POSITIVE
+        self.label_explicit[pair_id] = True
 
     def set_negative(self, source: AttributeRef, target: AttributeRef) -> None:
-        """Record that ``target`` is not the match for ``source``."""
-        pair_id = self.pair_id(source, target)
-        if pair_id is not None and self.labels[pair_id] != POSITIVE:
+        """Record that ``target`` is not the match for ``source``.
+
+        Routes through :meth:`ensure_pair` so a rejection of a pair that
+        blocking pruned still lands (feedback must never be lost to pruning);
+        it previously no-oped silently in exactly that case.
+        """
+        pair_id = self.ensure_pair(source, target)
+        if self.labels[pair_id] != POSITIVE:
             self.labels[pair_id] = NEGATIVE
+            self.label_explicit[pair_id] = True
 
     def labeled_ids(self) -> np.ndarray:
         return np.flatnonzero(self.labels != UNLABELED)
 
     def positive_ids(self) -> np.ndarray:
         return np.flatnonzero(self.labels == POSITIVE)
+
+    def explicit_ids(self) -> np.ndarray:
+        """Pairs whose label came from a direct user action."""
+        return np.flatnonzero(self.label_explicit & (self.labels != UNLABELED))
+
+    def informative_ids(self) -> np.ndarray:
+        """The training subset: all positives + explicitly rejected negatives.
+
+        Excludes the mass-implied sibling negatives of ``set_positive`` --
+        they vastly outnumber the user's actual signal and carry almost no
+        information each (see DESIGN.md, "Informative training subset").
+        """
+        return np.flatnonzero(
+            (self.labels == POSITIVE)
+            | ((self.labels == NEGATIVE) & self.label_explicit)
+        )
 
     def matched_sources(self) -> list[AttributeRef]:
         """Source attributes with a confirmed positive pair."""

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from ..engine import EngineConfig
 from ..featurizers.bert import BertFeaturizerConfig
+from ..retrieval import RetrievalConfig
 
 
 @dataclass
@@ -33,8 +34,14 @@ class LsmConfig:
         ``z = 1 / (1 + log(1 + sp))`` (§IV-D).
     max_candidates_per_source:
         Optional blocking: keep only this many target candidates per source
-        attribute, ranked by the cheap featurizers, before BERT scoring.
-        ``None`` scores the full Cartesian product as in the paper.
+        attribute, produced by the retrieve-then-rerank generator configured
+        through ``retrieval``, before BERT scoring.  ``None`` scores the
+        full Cartesian product as in the paper.
+    retrieval:
+        Candidate-generation knobs (retriever mix, fusion mode, index
+        persistence, and the ``generator="full"`` escape hatch); see
+        :class:`repro.retrieval.RetrievalConfig`.  Only consulted when
+        ``max_candidates_per_source`` is set.
     self_training_rounds / self_training_threshold:
         Semi-supervised self-training schedule of the meta-learner.
     seed:
@@ -52,6 +59,7 @@ class LsmConfig:
     apply_entity_penalty: bool = True
     entity_penalty_on_labeled_only: bool = True
     max_candidates_per_source: int | None = None
+    retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
     self_training_rounds: int = 2
     self_training_threshold: float = 0.9
     meta_l2: float = 0.5

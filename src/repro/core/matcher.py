@@ -30,9 +30,14 @@ from ..featurizers.embedding import EmbeddingFeaturizer
 from ..featurizers.lexical import LexicalFeaturizer
 from ..featurizers.pipeline import FeaturizerPipeline
 from ..nn.activations import softmax
+from ..retrieval import (
+    CandidateGenerator,
+    RetrievalStats,
+    build_generator,
+    docs_from_refs,
+)
 from ..schema.model import AttributeRef, Correspondence, MatchResult, Schema
-from ..text.tokenize import split_identifier
-from .artifacts import ArtifactConfig, DomainArtifacts, build_artifacts, phrase_matrix
+from .artifacts import ArtifactConfig, DomainArtifacts, build_artifacts
 from .candidates import CandidateStore
 from .config import LsmConfig
 from .meta import SelfTrainingClassifier
@@ -95,10 +100,6 @@ class LearnedSchemaMatcher:
                 target_schema,
                 use_descriptions=self.config.use_descriptions,
             )
-            if self.config.max_candidates_per_source is not None:
-                self.store.prune(
-                    self.config.max_candidates_per_source, self._blocking_scores()
-                )
 
             featurizers: list = []
             if self.config.use_lexical:
@@ -121,6 +122,18 @@ class LearnedSchemaMatcher:
                 )
                 featurizers.append(self.bert_featurizer)
             self.pipeline = FeaturizerPipeline(featurizers)
+
+            #: Retrieve-then-rerank candidate generation.  The generator is
+            #: built after the featurizers because the optional CLS retriever
+            #: encodes with the (pretrained) BERT featurizer.
+            self.retrieval_stats = RetrievalStats()
+            self.generator: CandidateGenerator | None = None
+            if self.config.max_candidates_per_source is not None:
+                with obs.span(
+                    "lsm.candidates", k=int(self.config.max_candidates_per_source)
+                ):
+                    self.generator = self._build_candidate_generator()
+                    self._apply_generator_pruning()
 
             self.adjuster = ScoreAdjuster(
                 self.store,
@@ -148,26 +161,67 @@ class LearnedSchemaMatcher:
             self.metrics.register("engine", self.bert_featurizer.engine.stats)
             self.metrics.register("train", self.bert_featurizer.train_stats)
         self.metrics.register("pipeline", self.pipeline.timings)
+        self.metrics.register("retrieval", self.retrieval_stats)
         from .. import store as artifact_store
 
         self.metrics.register("store", artifact_store.cache_stats)
         if isinstance(self.tracer, obs.Tracer):
             self.tracer.registry = self.metrics
 
-    # -- blocking -----------------------------------------------------------------
+    # -- candidate generation (retrieve-then-rerank) -------------------------------
 
-    def _blocking_scores(self) -> np.ndarray:
-        """Vectorised embedding-cosine scores used only for candidate pruning."""
-        source_matrix = phrase_matrix(
-            self.artifacts.embeddings,
-            [split_identifier(ref.attribute) for ref in self.store.source_refs],
+    def _build_candidate_generator(self) -> CandidateGenerator:
+        """Assemble the generator ``config.retrieval`` describes."""
+        retrieval = self.config.retrieval
+        source_docs = docs_from_refs(
+            self.source_schema, self.store.source_refs, self.config.use_descriptions
         )
-        target_matrix = phrase_matrix(
-            self.artifacts.embeddings,
-            [split_identifier(ref.attribute) for ref in self.store.target_refs],
+        target_docs = docs_from_refs(
+            self.target_schema, self.store.target_refs, self.config.use_descriptions
         )
-        cosine = source_matrix @ target_matrix.T
-        return cosine[self.store.pair_source, self.store.pair_target]
+        return build_generator(
+            source_docs,
+            target_docs,
+            retrieval,
+            embeddings=self.artifacts.embeddings if retrieval.use_dense else None,
+            cls_encoder=self.bert_featurizer if retrieval.use_cls else None,
+            cache_token=self.artifacts.cache_key,
+            stats=self.retrieval_stats,
+        )
+
+    def _apply_generator_pruning(self) -> None:
+        """Shrink the pair set to the generator's per-source top-k sets."""
+        assert self.generator is not None
+        k = self.config.max_candidates_per_source
+        assert k is not None
+        self.retrieval_stats.pairs_full_product = (
+            self.store.num_sources * self.store.num_targets
+        )
+        sets = self.generator.generate(k)
+        self.store.apply_candidate_sets(sets.per_source)
+        self.retrieval_stats.pairs_after_pruning = self.store.num_pairs
+
+    def _refresh_candidates(self) -> None:
+        """Re-validate candidate sets after a model hot-swap.
+
+        Model-sensitive retrievers (the CLS index) rank differently under new
+        BERT weights, so after every fine-tuning pass the generator refreshes
+        its indexes; when one actually rebuilt, the candidate sets are
+        regenerated and re-applied (labeled pairs always survive).
+        """
+        if (
+            self.generator is None
+            or not self.generator.model_sensitive
+            or self.config.max_candidates_per_source is None
+        ):
+            return
+        if not self.generator.refresh():
+            return
+        with obs.span("lsm.candidates_refresh"):
+            sets = self.generator.generate(self.config.max_candidates_per_source)
+            added, _removed = self.store.apply_candidate_sets(sets.per_source)
+            self.retrieval_stats.pairs_restored += added
+            self.retrieval_stats.pairs_after_pruning = self.store.num_pairs
 
     # -- user feedback ---------------------------------------------------------
 
@@ -184,17 +238,22 @@ class LearnedSchemaMatcher:
 
     # -- training + prediction ---------------------------------------------------
 
-    def _labeled_views_and_labels(self) -> tuple[list[AttributePairView], list[int]]:
-        labeled_ids = self.store.labeled_ids()
-        views = self.store.views(labeled_ids)
-        labels = [int(label) for label in self.store.labels[labeled_ids]]
+    def _informative_views_and_labels(self) -> tuple[list[AttributePairView], list[int]]:
+        """The training subset: positives + explicitly rejected negatives.
+
+        ``set_positive`` mass-implies a negative for every sibling pair of a
+        confirmed source; feeding those to fine-tuning would drown the user's
+        actual signal (see DESIGN.md, "Informative training subset").
+        """
+        informative_ids = self.store.informative_ids()
+        views = self.store.views(informative_ids)
+        labels = [int(label) for label in self.store.labels[informative_ids]]
         return views, labels
 
     def _maybe_update_bert(self) -> None:
         if self.bert_featurizer is None:
             return
-        views, labels = self._labeled_views_and_labels()
-        positives = sum(labels)
+        positives = int(self.store.positive_ids().size)
         if positives == 0:
             return
         if (
@@ -203,8 +262,10 @@ class LearnedSchemaMatcher:
         ):
             # Feed only the informative subset: all positives plus the
             # negatives the user actively produced for the same sources.
+            views, labels = self._informative_views_and_labels()
             self.bert_featurizer.update(views, labels)
             self._labels_at_last_bert_update = positives
+            self._refresh_candidates()
 
     def predict(self) -> Predictions:
         """One full train-and-predict pass over the current label state."""
@@ -233,7 +294,7 @@ class LearnedSchemaMatcher:
                 for source_index, source_ref in enumerate(self.store.source_refs):
                     if source_ref in matched:
                         continue
-                    pair_ids = np.flatnonzero(self.store.pair_source == source_index)
+                    pair_ids = self.store.pairs_of_source_index(source_index)
                     if pair_ids.size == 0:
                         suggestions[source_ref] = []
                         confidences[source_ref] = 0.0

@@ -21,6 +21,7 @@ from .public import (
     build_movielens_imdb,
     build_rdb_star,
 )
+from .scaled import scale_schema
 from .registry import (
     ALL_NAMES,
     CUSTOMER_NAMES,
@@ -56,4 +57,5 @@ __all__ = [
     "load_all",
     "load_dataset",
     "retail_iss",
+    "scale_schema",
 ]

@@ -1,0 +1,82 @@
+"""Synthetically scaled target schemata for retrieval benchmarks.
+
+The retail ISS tops out at 1218 attributes; measuring how retrieve-then-
+rerank candidate generation changes end-to-end ``predict()`` cost needs a
+distractor pool an order of magnitude larger.  :func:`scale_schema`
+replicates a schema ``factor`` times:
+
+* copy 1 *is* the original -- entity and attribute names are untouched, so
+  any ground truth against the base schema stays valid against the scaled
+  one;
+* copies 2..factor suffix every entity name (``ProductShadow3``) and every
+  attribute name (``ean_alt3``), and replicate the PK/FK relationships
+  within the copy, producing realistic near-duplicate distractors (the
+  failure mode blocking must survive: thousands of plausible-looking
+  almost-matches).
+
+Generation is deterministic: no randomness is involved.
+"""
+
+from __future__ import annotations
+
+from ..schema.model import Attribute, AttributeRef, Entity, Relationship, Schema
+
+
+def _suffixed_attribute(name: str, copy_index: int) -> str:
+    return f"{name}_alt{copy_index}"
+
+
+def _suffixed_entity(name: str, copy_index: int) -> str:
+    return f"{name}Shadow{copy_index}"
+
+
+def scale_schema(schema: Schema, factor: int) -> Schema:
+    """Replicate ``schema`` into ``factor`` interleaved copies.
+
+    The result has ``factor * num_attributes`` attributes and
+    ``factor * num_relationships`` relationships.  Copy 1 preserves the
+    original names exactly; ground truth written against ``schema`` remains
+    valid against the scaled schema.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return schema
+
+    entities: list[Entity] = list(schema.entities)
+    relationships: list[Relationship] = list(schema.relationships)
+    for copy_index in range(2, factor + 1):
+        for entity in schema.entities:
+            entities.append(
+                Entity(
+                    name=_suffixed_entity(entity.name, copy_index),
+                    attributes=[
+                        Attribute(
+                            name=_suffixed_attribute(attribute.name, copy_index),
+                            dtype=attribute.dtype,
+                            description=attribute.description,
+                        )
+                        for attribute in entity.attributes
+                    ],
+                    primary_key=(
+                        _suffixed_attribute(entity.primary_key, copy_index)
+                        if entity.primary_key is not None
+                        else None
+                    ),
+                    description=entity.description,
+                )
+            )
+        for relationship in schema.relationships:
+            relationships.append(
+                Relationship(
+                    child=AttributeRef(
+                        _suffixed_entity(relationship.child.entity, copy_index),
+                        _suffixed_attribute(relationship.child.attribute, copy_index),
+                    ),
+                    parent=AttributeRef(
+                        _suffixed_entity(relationship.parent.entity, copy_index),
+                        _suffixed_attribute(relationship.parent.attribute, copy_index),
+                    ),
+                )
+            )
+    return Schema(f"{schema.name}_x{factor}", entities, relationships)

@@ -195,6 +195,23 @@ class SubwordEmbeddings:
             return np.zeros(self.dim, dtype=np.float32)
         return np.mean([self.word_vector(token) for token in tokens], axis=0)
 
+    def phrase_matrix(
+        self, token_lists: Sequence[Sequence[str]], normalize: bool = True
+    ) -> np.ndarray:
+        """Stack phrase vectors into a ``(len(token_lists), dim)`` matrix.
+
+        With ``normalize=True`` rows are L2-normalised (zero rows stay zero),
+        so ``Q @ T.T`` is directly the cosine-similarity matrix -- the
+        operation the dense retriever and the blocking path are built on.
+        """
+        if not token_lists:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        matrix = np.stack([self.phrase_vector(tokens) for tokens in token_lists])
+        if normalize:
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            matrix = matrix / np.where(norms > 0, norms, 1.0)
+        return matrix.astype(np.float32)
+
     @staticmethod
     def cosine(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
         norm_a = float(np.linalg.norm(vector_a))

@@ -437,6 +437,16 @@ class BertFeaturizer:
     def name(self) -> str:
         return "bert"
 
+    @property
+    def model_version(self) -> int:
+        """Monotonic weight version (bumps on every training pass).
+
+        Model-sensitive retrieval indexes (``repro.retrieval.dense.
+        ClsDenseRetriever``) key their encodings on this so candidate sets
+        can be re-validated after every hot-swap.
+        """
+        return self.engine.model_version
+
     # -- encoding ---------------------------------------------------------------
 
     def _encode_sample(self, sample: TrainingSample) -> EncodedPair:
@@ -464,6 +474,31 @@ class BertFeaturizer:
             )
             self._encoded_cache[key] = cached
         return cached
+
+    def encode_cls(
+        self, token_lists: Sequence[Sequence[str]], batch_size: int = 64
+    ) -> np.ndarray:
+        """Pooled-[CLS] states of single-segment token spans.
+
+        The bi-encoder view of MiniBERT: each span is encoded alone as
+        ``[CLS] A [SEP]`` and represented by the pooled [CLS] state, giving
+        the retrieval layer a model-version-sensitive dense encoder without
+        touching the cross-encoder scoring path.
+        """
+        from ..lm.tokenizer import stack_encoded, trim_encoded
+
+        if not token_lists:
+            return np.zeros((0, self.model.config.hidden_size), dtype=np.float32)
+        encoded = [
+            self.tokenizer.encode_single(list(tokens), max_length=self.config.max_length)
+            for tokens in token_lists
+        ]
+        outputs = []
+        for start in range(0, len(encoded), batch_size):
+            batch = trim_encoded(stack_encoded(encoded[start : start + batch_size]))
+            _hidden, pooled = self.model.forward(batch)
+            outputs.append(pooled)
+        return np.concatenate(outputs, axis=0)
 
     # -- encoder match features --------------------------------------------------
 

@@ -77,6 +77,7 @@ DEFAULT_GROUPS: list[list[str]] = [
     ["start date", "effective date", "valid from", "begin date"],
     ["end date", "expiration date", "valid to", "expiry date"],
     ["birth date", "date of birth", "birthday"],
+    ["age", "birth year", "years of age", "year of birth"],
     ["tax", "duty", "levy", "vat"],
     ["currency", "currency code", "monetary unit"],
     ["salary", "wage", "pay", "compensation"],

@@ -135,7 +135,13 @@ class TestMatcherTracerLifecycle:
             source_schema, target_schema, config=config, artifacts=tiny_artifacts
         )
         try:
-            assert matcher.metrics.names() == ["engine", "pipeline", "store", "train"]
+            assert matcher.metrics.names() == [
+                "engine",
+                "pipeline",
+                "retrieval",
+                "store",
+                "train",
+            ]
             flat = matcher.metrics.as_dict()
             assert "engine.pairs_scored" in flat
             assert "store.hits" in flat

@@ -1,0 +1,83 @@
+"""The recall@k gate: unit tests plus the public-dataset gate suite.
+
+The gate suite is the tier-1 guard ISSUE asks for: on every public dataset
+with ground truth, the fused candidate generator at the default ``GATE_K``
+must retain *all* true matches.  A retrieval change that breaks this fails
+the build before it can silently cost accuracy downstream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.retrieval import (
+    GATE_DATASETS,
+    GATE_K,
+    task_minimal_recall_k,
+    task_recall_report,
+)
+from repro.retrieval import (
+    CandidateSets,
+    RecallGateError,
+    candidate_recall,
+    enforce_recall_gate,
+)
+from repro.schema import AttributeRef
+
+
+def _sets(rows, k):
+    return CandidateSets(
+        per_source=[np.asarray(row) for row in rows], k=k, retriever_names=("stub",)
+    )
+
+
+SOURCES = [AttributeRef("S", "a"), AttributeRef("S", "b")]
+TARGETS = [AttributeRef("T", "x"), AttributeRef("T", "y"), AttributeRef("T", "z")]
+
+
+class TestCandidateRecall:
+    def test_full_recall(self):
+        truth = {SOURCES[0]: TARGETS[1], SOURCES[1]: TARGETS[2]}
+        report = candidate_recall(_sets([[1, 0], [2, 0]], k=2), truth, SOURCES, TARGETS)
+        assert report.recall == 1.0
+        assert report.passed
+
+    def test_missed_pair_reported(self):
+        truth = {SOURCES[0]: TARGETS[2]}
+        report = candidate_recall(_sets([[0, 1], [0, 1]], k=2), truth, SOURCES, TARGETS)
+        assert report.recall == 0.0
+        assert report.missed == [(SOURCES[0], TARGETS[2])]
+
+    def test_out_of_scope_truth_ignored(self):
+        truth = {AttributeRef("S", "elsewhere"): TARGETS[0]}
+        report = candidate_recall(_sets([[0], [0]], k=1), truth, SOURCES, TARGETS)
+        assert report.num_truth == 0
+        assert report.recall == 1.0
+
+    def test_enforce_raises_with_named_pairs(self):
+        truth = {SOURCES[0]: TARGETS[2]}
+        with pytest.raises(RecallGateError, match="S.a -> T.z"):
+            enforce_recall_gate(
+                _sets([[0], [0]], k=1), truth, SOURCES, TARGETS, dataset="toy"
+            )
+
+
+class TestPublicDatasetGate:
+    """Pruning must retain every true match on every public dataset."""
+
+    @pytest.mark.parametrize("name", GATE_DATASETS)
+    def test_recall_at_gate_k_is_total(self, name):
+        report = task_recall_report(load_dataset(name), k=GATE_K)
+        assert report.passed, (
+            f"{name}: recall@{GATE_K} = {report.recall:.3f}, "
+            f"missed {report.missed}"
+        )
+
+    @pytest.mark.parametrize("name", GATE_DATASETS)
+    def test_gate_k_has_margin(self, name):
+        """The minimal full-recall k sits below GATE_K with headroom, so the
+        gate does not sit on a knife edge."""
+        minimal = task_minimal_recall_k(load_dataset(name))
+        assert minimal <= GATE_K, (
+            f"{name}: minimal full-recall k {minimal} exceeds GATE_K {GATE_K}"
+        )

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity bench-engine bench-train bench-serving bench-retrieval trace-smoke
+.PHONY: verify test parity test-serve-slow bench-engine bench-train bench-serving bench-serve bench-retrieval trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -12,6 +12,11 @@ test:
 
 parity:
 	$(PYTHON) -m pytest -q tests/engine/test_parity.py
+
+## Slow serving tests (tier-2): EngineBackend parity across worker counts;
+## excluded from `make test` by the `slow` marker.
+test-serve-slow:
+	$(PYTHON) -m pytest -q tests/serve -m slow
 
 ## Engine perf smoke (tier-2): emits BENCH_engine.json at the repo root.
 bench-engine:
@@ -25,6 +30,12 @@ bench-train:
 ## hot-swap vs respawn at 4 workers; emits BENCH_serving.json at the root.
 bench-serving:
 	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_serving_latency.py
+
+## Serving-service load replay (tier-2): 240 interleaved requests over 16
+## mixed-tenant sessions with hot-swaps, coalesced vs sequential; gates
+## parity (1e-8), speedup (>= 2x) and p99 latency; emits BENCH_serve.json.
+bench-serve:
+	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_serve_load.py
 
 ## Retrieval smoke (tier-2): retrieve-then-rerank vs full product on the
 ## 10x-scaled ISS (speedup + identical matches + public recall gate);

@@ -27,6 +27,12 @@ Commands
     human-label updates.  Prints the per-stage training timings, warm/cold
     optimiser starts and encode-cache counters (see
     :class:`repro.nn.TrainStats`).
+``serve stats [--requests N] [--sessions S] [--tenants T] [--seed X]``
+    Replay a deterministic multi-tenant load through the async serving
+    service (``repro.serve``) and print its metrics: coalesce ratio,
+    cross-session batches, p50/p99 latency, queue depths, residency/
+    eviction counters, plus the speedup over sequential per-session
+    scoring of the identical workload.
 ``retrieval {stats,gate} [--dataset D] [--k K]``
     Candidate-generation diagnostics.  ``stats`` reports per-retriever and
     fused recall@k plus the minimal lossless k on one dataset; ``gate``
@@ -351,6 +357,56 @@ def _cmd_train(args: argparse.Namespace) -> None:
     print(f"Optimiser starts: {warm} warm, {cold} cold.")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .serve import (
+        ServeConfig,
+        make_script,
+        replay_coalesced,
+        replay_sequential,
+    )
+
+    script = make_script(
+        seed=args.seed,
+        n_tenants=args.tenants,
+        n_sessions=args.sessions,
+        n_requests=args.requests,
+        min_pairs=1,
+        max_pairs=3,
+        max_length=22,
+        swap_every=max(1, args.requests // 4),
+    )
+    config = ServeConfig(
+        max_sessions=max(64, script.n_sessions),
+        max_inflight_per_session=max(16, script.requests_per_session()),
+        max_wait_s=0.02,
+        target_batch_pairs=256,
+    )
+    sequential = replay_sequential(script)
+    coalesced = replay_coalesced(script, config=config)
+    worst = max(
+        float(np.max(np.abs(sequential.scores[key] - coalesced.scores[key])))
+        for key in sequential.scores
+    )
+    rows = [
+        [name, str(value)] for name, value in sorted(coalesced.metrics.items())
+    ]
+    print(render_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Serving service: {script.n_requests} requests, "
+            f"{script.n_sessions} sessions, {script.n_tenants} tenants, "
+            f"{script.n_swaps} hot-swaps"
+        ),
+    ))
+    speedup = sequential.seconds / max(coalesced.seconds, 1e-9)
+    print(f"Coalesced replay: {coalesced.seconds:.3f}s vs sequential "
+          f"{sequential.seconds:.3f}s ({speedup:.2f}x); "
+          f"worst score deviation {worst:.2e}.")
+
+
 def _cmd_retrieval(args: argparse.Namespace) -> None:
     from .eval.retrieval import (
         GATE_DATASETS,
@@ -485,6 +541,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
     )
     train.set_defaults(func=_cmd_train)
+
+    serve = subparsers.add_parser("serve", help="serving-service diagnostics")
+    serve.add_argument("action", choices=["stats"])
+    serve.add_argument("--requests", type=int, default=120)
+    serve.add_argument("--sessions", type=int, default=8)
+    serve.add_argument("--tenants", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     retrieval = subparsers.add_parser(
         "retrieval", help="candidate-generation diagnostics"

@@ -20,6 +20,7 @@ plus the wall-clock response time of the retrain-and-predict step.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -102,6 +103,13 @@ class MatchingSession:
     response time measured here reflects steady-state serving latency.  Use
     the session as a context manager (or call :meth:`close`) to tear the
     pool and its shared-memory segments down deterministically.
+
+    Sessions are safe to share across threads: a session-level re-entrant
+    lock serialises :meth:`predict`, the label mutators and the iteration
+    body of :meth:`run`, so a serving front end can drive the session from
+    one task while another closes it.  :meth:`close` is idempotent; a close
+    that lands mid-:meth:`run` stops the loop at the next iteration boundary
+    instead of tearing resources out from under a live scoring pass.
     """
 
     def __init__(
@@ -120,10 +128,55 @@ class MatchingSession:
             raise ValueError("max_iterations must be >= 0")
         # An explicit 0 means "run zero iterations", not "use the default".
         self.max_iterations = max_iterations
+        #: Serialises predict/label mutation and the run loop; re-entrant so
+        #: guarded methods may call each other.
+        self._lock = threading.RLock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("MatchingSession is closed")
 
     def close(self) -> None:
-        """Release the matcher's resources (worker pool, shm segments, trace)."""
-        self.matcher.close()
+        """Release the matcher's resources (worker pool, shm segments, trace).
+
+        Idempotent: the first call tears the matcher down, every later call
+        is a no-op -- a serving front end and a ``with`` block may both
+        close the same session without double-releasing pools or segments.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.matcher.close()
+
+    # -- thread-safe matcher proxies ------------------------------------------
+    #
+    # Serving front ends share one session between a scoring task and the
+    # user's feedback stream; these proxies make the predict/label surface
+    # atomic with respect to each other and to close().
+
+    def predict(self):
+        """Run one train-and-predict pass under the session lock."""
+        with self._lock:
+            self._ensure_open()
+            return self.matcher.predict()
+
+    def record_match(self, source, target) -> None:
+        """Record a confirmed match under the session lock."""
+        with self._lock:
+            self._ensure_open()
+            self.matcher.record_match(source, target)
+
+    def record_rejected(self, source, rejected_targets) -> None:
+        """Record rejected suggestions under the session lock."""
+        with self._lock:
+            self._ensure_open()
+            self.matcher.record_rejected(source, rejected_targets)
 
     def __enter__(self) -> "MatchingSession":
         return self
@@ -141,6 +194,8 @@ class MatchingSession:
 
     def run(self) -> SessionResult:
         """Run the loop to completion (or ``max_iterations``)."""
+        with self._lock:
+            self._ensure_open()
         store = self.matcher.store
         records: list[IterationRecord] = []
         labels_provided = 0
@@ -152,7 +207,15 @@ class MatchingSession:
             max_iterations=self.max_iterations,
         ) as run_span:
             for iteration in range(1, self.max_iterations + 1):
-                with obs.span("session.iteration", iteration=iteration) as it_span:
+                # A close() that lands between iterations wins: stop cleanly
+                # rather than scoring against a torn-down matcher.
+                if self._closed:
+                    break
+                with self._lock, obs.span(
+                    "session.iteration", iteration=iteration
+                ) as it_span:
+                    if self._closed:
+                        break
                     started = time.perf_counter()
                     predictions = self.matcher.predict()
                     response_seconds = time.perf_counter() - started

@@ -343,6 +343,22 @@ class ScoringEngine:
         with self.stats.timer("forward"):
             return self._executor.map(plan)
 
+    def score_plan(self, plan) -> list[np.ndarray]:
+        """Score an externally formed micro-batch plan down the serving ladder.
+
+        The multi-tenant serving front end (:mod:`repro.serve`) coalesces
+        pairs from *different* sessions into one plan before it reaches the
+        engine, so the engine cannot fingerprint-cache or re-plan here: the
+        caller owns request/result routing and cache policy.  Each returned
+        array is positionally aligned with ``plan``.
+        """
+        self.model.eval()
+        self.classifier.eval()
+        self.stats.microbatches += len(plan)
+        self.stats.buckets += plan_num_buckets(plan)
+        self.stats.pairs_scored += sum(len(mb.indices) for mb in plan)
+        return self._score_plan(plan)
+
     def score_encoded(self, encoded: list[EncodedPair]) -> np.ndarray:
         """Scores in [0, 1] for ``encoded``, reusing everything reusable."""
         self.stats.scoring_calls += 1

@@ -291,6 +291,26 @@ class WeightArena:
             )
         return self._ctrl
 
+    def views(self) -> dict[str, np.ndarray]:
+        """Read-only zero-copy views of the last published tensors.
+
+        This is the *parent-side* counterpart of :meth:`ArenaClient.sync`:
+        the serving layer's model residency (:mod:`repro.serve.residency`)
+        binds in-process model skeletons to these views, so every session of
+        a tenant scores against the single shared copy of that tenant's
+        weights instead of a private deep copy per session.
+        """
+        if self.manifest is None or self._data is None:
+            raise ArenaError("no published version to view")
+        views: dict[str, np.ndarray] = {}
+        for spec in self.manifest.tensors:
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=self._data.buf, offset=spec.offset
+            )
+            view.flags.writeable = False
+            views[spec.name] = view
+        return views
+
     def info(self) -> dict[str, object]:
         return {
             "active": self.manifest is not None,

@@ -17,6 +17,7 @@ matchers do not interleave.  ``repro trace summarize`` renders the NDJSON
 (:mod:`repro.obs.summarize`).
 """
 
+from .latency import LatencyReservoir
 from .registry import MetricsRegistry, merge_metrics
 from .summarize import (
     ITERATION_SPAN,
@@ -45,6 +46,7 @@ from .tracer import (
 __all__ = [
     "ITERATION_SPAN",
     "InvariantViolation",
+    "LatencyReservoir",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",

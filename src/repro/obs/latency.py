@@ -1,0 +1,79 @@
+"""Latency aggregation for serving surfaces: bounded reservoir + percentiles.
+
+The serving service (:mod:`repro.serve`) needs p50/p99 tail latency over an
+unbounded stream of request timings without unbounded memory.  A
+:class:`LatencyReservoir` records every observation while it fits, then
+falls back to *systematic* sampling (keep every k-th observation, doubling
+``k`` each time the reservoir re-fills) -- deterministic, order-preserving,
+and free of any RNG, so repeated runs of a deterministic load script report
+identical percentiles.
+
+This lives in ``repro.obs`` rather than ``repro.serve`` because it is the
+same shape as the other stats primitives (``as_dict()`` protocol, merges
+into :class:`~repro.obs.registry.MetricsRegistry` snapshots) and nothing in
+it is serving-specific.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LatencyReservoir:
+    """Bounded, deterministic sample reservoir over a stream of seconds.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained samples.  When exceeded, the reservoir decimates
+        itself (keeps every other retained sample) and doubles its sampling
+        stride, so long runs keep a uniform systematic sample of the stream.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self._stride = 1
+        self._samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation (non-negative seconds)."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if (self.count - 1) % self._stride:
+            return
+        self._samples.append(seconds)
+        if len(self._samples) >= self.capacity:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def samples(self) -> list[float]:
+        """The retained systematic sample (test surface)."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of the retained sample; 0 when empty."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples, dtype=np.float64), q))
+
+    def as_dict(self, prefix: str = "") -> dict[str, float | int]:
+        """Flat snapshot in milliseconds (plus raw counts)."""
+        return {
+            f"{prefix}count": self.count,
+            f"{prefix}mean_ms": round(1000.0 * self.mean(), 3),
+            f"{prefix}p50_ms": round(1000.0 * self.percentile(50.0), 3),
+            f"{prefix}p99_ms": round(1000.0 * self.percentile(99.0), 3),
+            f"{prefix}max_ms": round(1000.0 * self.max_seconds, 3),
+        }

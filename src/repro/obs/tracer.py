@@ -276,40 +276,57 @@ class Tracer:
 
 
 # -- ambient tracer ---------------------------------------------------------
+#
+# The active tracer is *thread-local*: concurrent sessions (the multi-tenant
+# serving service drives many traced matchers over one process) each activate
+# their own tracer on their own thread, and instrumentation sites on one
+# thread never emit into another thread's trace.  Threads start at the shared
+# NULL_TRACER, so tracing stays off by default everywhere.
 
-_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+class _AmbientTracer(threading.local):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Tracer | NullTracer = NULL_TRACER
+
+
+_ACTIVE = _AmbientTracer()
 
 
 def current_tracer() -> Tracer | NullTracer:
-    """The tracer instrumentation sites currently dispatch to."""
-    return _ACTIVE
+    """The tracer instrumentation sites on this thread dispatch to."""
+    return _ACTIVE.value
 
 
 def enabled() -> bool:
     """True when a real tracer is active (gates optional check *computation*)."""
-    return _ACTIVE.enabled
+    return _ACTIVE.value.enabled
 
 
 @contextmanager
 def activated(tracer: Tracer | NullTracer | None) -> Iterator[Tracer | NullTracer]:
-    """Make ``tracer`` the ambient tracer inside the block (re-entrant)."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    """Make ``tracer`` this thread's ambient tracer inside the block.
+
+    Re-entrant, and scoped to the calling thread: activation on one thread
+    is invisible to every other thread.
+    """
+    previous = _ACTIVE.value
+    _ACTIVE.value = tracer if tracer is not None else NULL_TRACER
     try:
-        yield _ACTIVE
+        yield _ACTIVE.value
     finally:
-        _ACTIVE = previous
+        _ACTIVE.value = previous
 
 
 def span(name: str, **attrs: Any):
     """Open a span on the ambient tracer (no-op context when tracing is off)."""
-    return _ACTIVE.span(name, **attrs)
+    return _ACTIVE.value.span(name, **attrs)
 
 
 def event(name: str, **attrs: Any) -> None:
     """Emit an event on the ambient tracer."""
-    _ACTIVE.event(name, **attrs)
+    _ACTIVE.value.event(name, **attrs)
 
 
 def check(name: str, ok: bool, **attrs: Any) -> None:
@@ -320,7 +337,8 @@ def check(name: str, ok: bool, **attrs: Any) -> None:
     :class:`InvariantViolation`.  Guard any non-trivial computation of
     ``ok`` behind :func:`enabled` so the untraced path pays nothing.
     """
-    if _ACTIVE.enabled and not ok:
-        _ACTIVE.event("invariant.violation", check=name, **attrs)
-        _ACTIVE.flush()
+    active = _ACTIVE.value
+    if active.enabled and not ok:
+        active.event("invariant.violation", check=name, **attrs)
+        active.flush()
         raise InvariantViolation(f"invariant {name!r} violated: {attrs}")

@@ -1,0 +1,252 @@
+"""Cross-session micro-batch coalescing: the scheduler core.
+
+Interactive schema-matching traffic is many *small* score requests -- a
+handful of candidate pairs per source attribute per session.  Scoring each
+request alone wastes the batch efficiency the bucketed planner
+(:mod:`repro.engine.batching`) exists to exploit.  The scheduler fixes that
+by draining pending requests **across sessions** into shared
+length-bucketed micro-batch plans, with two triggers per model version:
+
+* **size** -- pending pairs reached ``target_batch_pairs`` (flush now, the
+  batch is worth executing);
+* **deadline** -- the *oldest* pending request is ``max_wait_s`` old (flush
+  whatever is there: a lone session never stalls behind batch formation).
+
+Requests for different model versions never share a batch (they need
+different weights), and the drain order is global FIFO by submission, so
+per-session FIFO ordering is structural: a session's second request cannot
+be drained before its first.
+
+This module is deliberately synchronous and clock-injected -- the asyncio
+front end (:mod:`repro.serve.service`) owns time and wake-ups; the
+hypothesis property suite (``tests/serve/test_scheduler_properties.py``)
+drives this core with a simulated clock and checks starvation-freedom,
+FIFO-per-session and queue bounds exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.batching import MicroBatch, plan_microbatches
+from ..lm.tokenizer import EncodedPair
+
+
+class QueueFullError(RuntimeError):
+    """A session exceeded its bounded request queue."""
+
+
+@dataclass
+class ScoreRequest:
+    """One session's score request: a list of encoded pairs to score."""
+
+    request_id: int
+    session_id: str
+    #: Resident model version that must score these pairs (pinned by the
+    #: service for the request's lifetime).
+    model_key: str
+    pairs: list[EncodedPair]
+    enqueued_at: float
+    deadline: float
+    #: Set by the service: an asyncio future resolved with the scores.
+    future: object | None = field(default=None, repr=False)
+
+
+@dataclass
+class CoalescedBatch:
+    """A drained set of requests sharing one model version, planned to score."""
+
+    model_key: str
+    requests: tuple[ScoreRequest, ...]
+    #: Bucketed plan over the concatenation of all requests' pairs, in
+    #: request order; ``MicroBatch.indices`` point into that concatenation.
+    plan: list[MicroBatch]
+    formed_at: float
+    #: True when the flush trigger was the oldest request's deadline.
+    deadline_flush: bool
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(len(request.pairs) for request in self.requests)
+
+    @property
+    def session_ids(self) -> set[str]:
+        return {request.session_id for request in self.requests}
+
+    def scatter(self, results: Sequence[np.ndarray]) -> dict[int, np.ndarray]:
+        """Route per-micro-batch score arrays back to per-request arrays."""
+        flat = np.empty(self.total_pairs, dtype=np.float64)
+        for microbatch, scores in zip(self.plan, results):
+            for position, score in zip(microbatch.indices, np.asarray(scores)):
+                flat[position] = float(score)
+        routed: dict[int, np.ndarray] = {}
+        offset = 0
+        for request in self.requests:
+            routed[request.request_id] = flat[offset : offset + len(request.pairs)]
+            offset += len(request.pairs)
+        return routed
+
+
+class CoalescingScheduler:
+    """FIFO, deadline-bounded, cross-session batch former (sync core)."""
+
+    def __init__(
+        self,
+        max_wait_s: float = 0.002,
+        target_batch_pairs: int = 128,
+        max_batch_pairs: int = 1024,
+        max_queue_per_session: int = 32,
+        microbatch_size: int = 64,
+        bucket_granularity: int = 8,
+    ) -> None:
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if target_batch_pairs < 1 or max_batch_pairs < target_batch_pairs:
+            raise ValueError("need 1 <= target_batch_pairs <= max_batch_pairs")
+        if max_queue_per_session < 1:
+            raise ValueError("max_queue_per_session must be >= 1")
+        self.max_wait_s = max_wait_s
+        self.target_batch_pairs = target_batch_pairs
+        self.max_batch_pairs = max_batch_pairs
+        self.max_queue_per_session = max_queue_per_session
+        self.microbatch_size = microbatch_size
+        self.bucket_granularity = bucket_granularity
+        self._next_request_id = 1
+        #: Pending requests per model key, in submission (FIFO) order.
+        self._pending: dict[str, list[ScoreRequest]] = {}
+        self._per_session_depth: dict[str, int] = {}
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        model_key: str,
+        pairs: list[EncodedPair],
+        now: float,
+        future: object | None = None,
+    ) -> ScoreRequest:
+        """Enqueue a request; raises :class:`QueueFullError` past the bound."""
+        if not pairs:
+            raise ValueError("a score request must carry at least one pair")
+        depth = self._per_session_depth.get(session_id, 0)
+        if depth >= self.max_queue_per_session:
+            raise QueueFullError(
+                f"session {session_id!r} has {depth} queued requests "
+                f"(bound {self.max_queue_per_session})"
+            )
+        request = ScoreRequest(
+            request_id=self._next_request_id,
+            session_id=session_id,
+            model_key=model_key,
+            pairs=list(pairs),
+            enqueued_at=now,
+            deadline=now + self.max_wait_s,
+            future=future,
+        )
+        self._next_request_id += 1
+        self._pending.setdefault(model_key, []).append(request)
+        self._per_session_depth[session_id] = depth + 1
+        return request
+
+    # -- introspection ---------------------------------------------------------
+
+    def pending_requests(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    def pending_pairs(self) -> int:
+        return sum(
+            len(request.pairs)
+            for queue in self._pending.values()
+            for request in queue
+        )
+
+    def session_depth(self, session_id: str) -> int:
+        return self._per_session_depth.get(session_id, 0)
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending deadline (the service sleeps until it), or None."""
+        deadlines = [queue[0].deadline for queue in self._pending.values() if queue]
+        return min(deadlines) if deadlines else None
+
+    # -- batch formation -------------------------------------------------------
+
+    def ready_batches(self, now: float) -> list[CoalescedBatch]:
+        """Drain every model-key pool whose flush trigger fired.
+
+        Loops until quiescent: after this returns, every still-pending
+        request has ``deadline > now`` **and** its pool is below the size
+        target -- the starvation-freedom invariant the property suite pins.
+        """
+        batches: list[CoalescedBatch] = []
+        progress = True
+        while progress:
+            progress = False
+            for model_key in list(self._pending):
+                queue = self._pending[model_key]
+                if not queue:
+                    del self._pending[model_key]
+                    continue
+                total = sum(len(request.pairs) for request in queue)
+                deadline_due = queue[0].deadline <= now
+                if not deadline_due and total < self.target_batch_pairs:
+                    continue
+                batches.append(self._drain(model_key, now, deadline_due))
+                progress = True
+        return batches
+
+    def flush_pending(self, now: float) -> list[CoalescedBatch]:
+        """Drain every pending request immediately, ignoring flush triggers.
+
+        End-of-stream drain: a load replay that knows no more requests are
+        coming (or a service shutting down) should not idle out the deadline
+        of the last partial batch.  Drain order and batch composition are
+        exactly what a deadline flush of each full pool would have produced.
+        """
+        batches: list[CoalescedBatch] = []
+        for model_key in list(self._pending):
+            while self._pending.get(model_key):
+                batches.append(self._drain(model_key, now, deadline_flush=False))
+        return batches
+
+    def _drain(
+        self, model_key: str, now: float, deadline_flush: bool
+    ) -> CoalescedBatch:
+        """Take requests in FIFO order up to ``max_batch_pairs`` and plan them.
+
+        Always takes at least one request, so a single oversized request
+        still executes (as its own batch) instead of starving.
+        """
+        queue = self._pending[model_key]
+        taken: list[ScoreRequest] = []
+        pairs = 0
+        while queue:
+            request = queue[0]
+            if taken and pairs + len(request.pairs) > self.max_batch_pairs:
+                break
+            taken.append(queue.pop(0))
+            pairs += len(request.pairs)
+        if not queue:
+            del self._pending[model_key]
+        for request in taken:
+            depth = self._per_session_depth[request.session_id] - 1
+            if depth:
+                self._per_session_depth[request.session_id] = depth
+            else:
+                del self._per_session_depth[request.session_id]
+        concatenated = [pair for request in taken for pair in request.pairs]
+        plan = plan_microbatches(
+            concatenated,
+            microbatch_size=self.microbatch_size,
+            bucket_granularity=self.bucket_granularity,
+        )
+        return CoalescedBatch(
+            model_key=model_key,
+            requests=tuple(taken),
+            plan=plan,
+            formed_at=now,
+            deadline_flush=deadline_flush,
+        )

@@ -1,0 +1,36 @@
+"""Shared helpers for the serving-service test sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lm.tokenizer import EncodedPair
+from repro.serve.load import MAX_LENGTH, build_tenant_stack, make_script
+
+
+def make_pairs(seed: int, count: int, max_length: int = 22) -> list[EncodedPair]:
+    """Deterministic synthetic encoded pairs (token ids clear of specials)."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        length = int(rng.integers(6, max_length))
+        input_ids = np.zeros(MAX_LENGTH, dtype=np.int64)
+        input_ids[:length] = rng.integers(5, 90, size=length)
+        attention = np.zeros(MAX_LENGTH, dtype=np.int64)
+        attention[:length] = 1
+        segment = np.zeros(MAX_LENGTH, dtype=np.int64)
+        segment[length // 2 : length] = 1
+        pairs.append(
+            EncodedPair(
+                input_ids=input_ids, segment_ids=segment, attention_mask=attention
+            )
+        )
+    return pairs
+
+
+@pytest.fixture()
+def tenant_stack():
+    """One tiny (model, classifier, special_ids) stack for single-tenant tests."""
+    script = make_script(seed=5, n_tenants=1, n_sessions=1, n_requests=1)
+    return build_tenant_stack(script, 0)

@@ -1,0 +1,204 @@
+"""Concurrency stress: no cross-session bleed, async or threaded.
+
+Two layers of isolation are on trial here:
+
+* **service-level** -- many asyncio tasks drive independent sessions of one
+  :class:`ServeService`; the coalescer freely mixes their pairs into shared
+  batches, but every session must get back exactly the scores its own
+  tenant's weights produce for its own pairs;
+* **process-level** -- several OS threads each run a full traced
+  ``MatchingSession``; the ambient tracer is thread-local, so every NDJSON
+  trace must validate and carry exactly its *own* session's iteration
+  records (a shared-global tracer would interleave spans across files).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import (
+    GroundTruthOracle,
+    LearnedSchemaMatcher,
+    LsmConfig,
+    MatchingSession,
+)
+from repro.engine.batching import plan_microbatches
+from repro.featurizers.bert import BertFeaturizerConfig, score_encoded_batch
+from repro.serve import ServeConfig, ServeService, build_tenant_stack, make_script
+
+from .conftest import make_pairs
+
+ATOL = 1e-8
+
+
+def direct_scores(stack, pairs) -> np.ndarray:
+    """Reference scores for ``pairs`` under one tenant stack, no service."""
+    model, classifier, special_ids = stack
+    out = np.empty(len(pairs), dtype=np.float64)
+    for microbatch in plan_microbatches(pairs, microbatch_size=64):
+        scores = score_encoded_batch(model, classifier, special_ids, microbatch.batch)
+        for position, score in zip(microbatch.indices, scores):
+            out[position] = float(score)
+    return out
+
+
+class TestConcurrentServiceSessions:
+    N_SESSIONS = 8
+    N_REQUESTS = 6  # per session
+
+    def _stacks(self):
+        script = make_script(seed=13, n_tenants=2, n_sessions=1, n_requests=1)
+        return {tenant: build_tenant_stack(script, tenant) for tenant in (0, 1)}
+
+    def _session_pairs(self, session: int) -> list:
+        return [
+            make_pairs(seed=1000 * session + request, count=2 + request % 3)
+            for request in range(self.N_REQUESTS)
+        ]
+
+    def _run_concurrent(self, config: ServeConfig, *, flush: bool):
+        stacks = self._stacks()
+
+        async def scenario():
+            async with ServeService(config) as service:
+                for tenant, stack in stacks.items():
+                    service.register_tenant(f"t{tenant}", *stack)
+
+                async def one_session(session: int):
+                    handle = service.open_session(f"t{session % 2}")
+                    futures = []
+                    for pairs in self._session_pairs(session):
+                        futures.append(service.submit_nowait(handle, pairs))
+                        await asyncio.sleep(0)
+                    if flush:
+                        await service.flush()
+                    scores = list(await asyncio.gather(*futures))
+                    service.close_session(handle)
+                    return session, scores
+
+                results = await asyncio.gather(
+                    *(one_session(s) for s in range(self.N_SESSIONS))
+                )
+                return dict(results), service.stats
+
+        return asyncio.run(scenario()), stacks
+
+    def _assert_no_bleed(self, results, stacks):
+        for session in range(self.N_SESSIONS):
+            stack = stacks[session % 2]
+            for request, pairs in enumerate(self._session_pairs(session)):
+                expected = direct_scores(stack, pairs)
+                got = results[session][request]
+                assert got.shape == expected.shape
+                deviation = float(np.max(np.abs(got - expected)))
+                assert deviation <= ATOL, (
+                    f"session {session} request {request}: "
+                    f"scores bled across sessions (deviation {deviation:.3e})"
+                )
+
+    def test_no_cross_session_score_bleed_when_coalesced(self):
+        # Deterministic composition: everything coalesces, then one flush.
+        config = ServeConfig(
+            max_sessions=16,
+            max_inflight_per_session=self.N_REQUESTS,
+            max_wait_s=5.0,
+            target_batch_pairs=100_000,
+            max_batch_pairs=100_000,
+        )
+        (results, stats), stacks = self._run_concurrent(config, flush=True)
+        self._assert_no_bleed(results, stacks)
+        # The isolation must have been exercised, not vacuous: pairs from
+        # different sessions really did share batches.
+        assert stats.cross_session_batches >= 1
+        assert stats.coalesce_ratio() > 1.0
+        assert stats.requests_completed == self.N_SESSIONS * self.N_REQUESTS
+
+    def test_no_bleed_under_live_deadline_flushes(self):
+        # Tight triggers: batch composition is timing-dependent and varies
+        # run to run; per-session scores must not.
+        config = ServeConfig(
+            max_sessions=16,
+            max_inflight_per_session=self.N_REQUESTS,
+            max_wait_s=0.001,
+            target_batch_pairs=8,
+            max_batch_pairs=64,
+        )
+        (results, stats), stacks = self._run_concurrent(config, flush=False)
+        self._assert_no_bleed(results, stacks)
+        assert stats.requests_completed == self.N_SESSIONS * self.N_REQUESTS
+        assert stats.queue_depth_peak >= 1
+
+
+class TestThreadedTracedSessions:
+    """Each thread runs a full traced matcher session; traces must not mix."""
+
+    N_THREADS = 3
+
+    def test_threaded_sessions_produce_isolated_valid_traces(
+        self, tmp_path, source_schema, target_schema, tiny_artifacts, ground_truth
+    ):
+        sessions: dict[int, MatchingSession] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def run_one(thread: int) -> None:
+            try:
+                config = LsmConfig(
+                    trace_path=str(tmp_path / f"thread{thread}.ndjson"),
+                    bert=BertFeaturizerConfig(
+                        max_length=24,
+                        pretrain_epochs=1,
+                        update_epochs=1,
+                        batch_size=16,
+                        seed=thread,
+                    ),
+                    seed=thread,
+                )
+                matcher = LearnedSchemaMatcher(
+                    source_schema,
+                    target_schema,
+                    config=config,
+                    artifacts=tiny_artifacts,
+                )
+                oracle = GroundTruthOracle(ground_truth, target_schema)
+                barrier.wait(timeout=60)  # maximise overlap between threads
+                try:
+                    sessions[thread] = MatchingSession(matcher, oracle).run()
+                finally:
+                    matcher.close()
+            except BaseException as error:  # surfaced in the main thread
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_one, args=(thread,), name=f"lsm-{thread}")
+            for thread in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        assert not errors, errors
+        assert len(sessions) == self.N_THREADS
+
+        for thread, session in sessions.items():
+            assert session.completed
+            assert session.result.accuracy_against(ground_truth) == pytest.approx(1.0)
+            trace_path = tmp_path / f"thread{thread}.ndjson"
+            # The trace validates against the NDJSON schema in isolation...
+            records = obs.load_trace(trace_path)
+            kinds = [record["kind"] for record in records]
+            assert kinds[0] == "meta"
+            assert kinds[-1] == "summary"
+            # ...and carries exactly THIS thread's session, span for span.
+            summary = obs.summarize_trace_file(trace_path)
+            assert len(summary.iterations) == len(session.records)
+            for row, record in zip(summary.iterations, session.records):
+                expected = asdict(record)
+                assert {key: row[key] for key in expected} == expected
+            assert summary.invariant_violations == 0

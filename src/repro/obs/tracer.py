@@ -25,6 +25,7 @@ non-zero score on an incompatible pair) into a loud failure.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import threading
@@ -277,56 +278,52 @@ class Tracer:
 
 # -- ambient tracer ---------------------------------------------------------
 #
-# The active tracer is *thread-local*: concurrent sessions (the multi-tenant
-# serving service drives many traced matchers over one process) each activate
-# their own tracer on their own thread, and instrumentation sites on one
-# thread never emit into another thread's trace.  Threads start at the shared
-# NULL_TRACER, so tracing stays off by default everywhere.
+# The active tracer lives in a ContextVar: concurrent sessions (the
+# multi-tenant serving service drives many traced matchers over one process)
+# each activate their own tracer in their own thread or asyncio task, and
+# instrumentation sites in one context never emit into another context's
+# trace.  (A threading.local is not enough here: it would not isolate
+# concurrent asyncio tasks sharing one event-loop thread.)  Every new
+# context starts at the shared NULL_TRACER, so tracing stays off by default
+# everywhere.
 
-
-class _AmbientTracer(threading.local):
-    __slots__ = ("value",)
-
-    def __init__(self) -> None:
-        self.value: Tracer | NullTracer = NULL_TRACER
-
-
-_ACTIVE = _AmbientTracer()
+_ACTIVE: contextvars.ContextVar[Tracer | NullTracer] = contextvars.ContextVar(
+    "repro_ambient_tracer", default=NULL_TRACER
+)
 
 
 def current_tracer() -> Tracer | NullTracer:
-    """The tracer instrumentation sites on this thread dispatch to."""
-    return _ACTIVE.value
+    """The tracer instrumentation sites in this context dispatch to."""
+    return _ACTIVE.get()
 
 
 def enabled() -> bool:
     """True when a real tracer is active (gates optional check *computation*)."""
-    return _ACTIVE.value.enabled
+    return _ACTIVE.get().enabled
 
 
 @contextmanager
 def activated(tracer: Tracer | NullTracer | None) -> Iterator[Tracer | NullTracer]:
-    """Make ``tracer`` this thread's ambient tracer inside the block.
+    """Make ``tracer`` the ambient tracer inside the block.
 
-    Re-entrant, and scoped to the calling thread: activation on one thread
-    is invisible to every other thread.
+    Re-entrant, and scoped to the calling thread/task context: activation
+    in one context is invisible to every other.
     """
-    previous = _ACTIVE.value
-    _ACTIVE.value = tracer if tracer is not None else NULL_TRACER
+    token = _ACTIVE.set(tracer if tracer is not None else NULL_TRACER)
     try:
-        yield _ACTIVE.value
+        yield _ACTIVE.get()
     finally:
-        _ACTIVE.value = previous
+        _ACTIVE.reset(token)
 
 
 def span(name: str, **attrs: Any):
     """Open a span on the ambient tracer (no-op context when tracing is off)."""
-    return _ACTIVE.value.span(name, **attrs)
+    return current_tracer().span(name, **attrs)
 
 
 def event(name: str, **attrs: Any) -> None:
     """Emit an event on the ambient tracer."""
-    _ACTIVE.value.event(name, **attrs)
+    current_tracer().event(name, **attrs)
 
 
 def check(name: str, ok: bool, **attrs: Any) -> None:
@@ -337,7 +334,7 @@ def check(name: str, ok: bool, **attrs: Any) -> None:
     :class:`InvariantViolation`.  Guard any non-trivial computation of
     ``ok`` behind :func:`enabled` so the untraced path pays nothing.
     """
-    active = _ACTIVE.value
+    active = current_tracer()
     if active.enabled and not ok:
         active.event("invariant.violation", check=name, **attrs)
         active.flush()

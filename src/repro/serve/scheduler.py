@@ -13,9 +13,12 @@ length-bucketed micro-batch plans, with two triggers per model version:
   whatever is there: a lone session never stalls behind batch formation).
 
 Requests for different model versions never share a batch (they need
-different weights), and the drain order is global FIFO by submission, so
-per-session FIFO ordering is structural: a session's second request cannot
-be drained before its first.
+different weights), but drain order is still global FIFO by submission:
+pools drain oldest-head-first, and a drain never takes a request whose
+session has an older request pending in *another* pool (it stops, and the
+older pool is flushed first -- early, if need be).  Per-session FIFO
+completion order is therefore structural even when one session's requests
+span model versions, as they do across a mid-stream hot-swap.
 
 This module is deliberately synchronous and clock-injected -- the asyncio
 front end (:mod:`repro.serve.service`) owns time and wake-ups; the
@@ -26,6 +29,7 @@ FIFO-per-session and queue bounds exhaustively.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -116,8 +120,11 @@ class CoalescingScheduler:
         self.bucket_granularity = bucket_granularity
         self._next_request_id = 1
         #: Pending requests per model key, in submission (FIFO) order.
-        self._pending: dict[str, list[ScoreRequest]] = {}
-        self._per_session_depth: dict[str, int] = {}
+        self._pending: dict[str, deque[ScoreRequest]] = {}
+        #: Pending (request_id, model_key) per session, in submission (FIFO)
+        #: order; the head is the request that must complete next for that
+        #: session, and its model_key locates the pool holding it.
+        self._session_pending: dict[str, deque[tuple[int, str]]] = {}
 
     # -- submission ------------------------------------------------------------
 
@@ -132,7 +139,7 @@ class CoalescingScheduler:
         """Enqueue a request; raises :class:`QueueFullError` past the bound."""
         if not pairs:
             raise ValueError("a score request must carry at least one pair")
-        depth = self._per_session_depth.get(session_id, 0)
+        depth = len(self._session_pending.get(session_id, ()))
         if depth >= self.max_queue_per_session:
             raise QueueFullError(
                 f"session {session_id!r} has {depth} queued requests "
@@ -148,8 +155,10 @@ class CoalescingScheduler:
             future=future,
         )
         self._next_request_id += 1
-        self._pending.setdefault(model_key, []).append(request)
-        self._per_session_depth[session_id] = depth + 1
+        self._pending.setdefault(model_key, deque()).append(request)
+        self._session_pending.setdefault(session_id, deque()).append(
+            (request.request_id, model_key)
+        )
         return request
 
     # -- introspection ---------------------------------------------------------
@@ -165,7 +174,7 @@ class CoalescingScheduler:
         )
 
     def session_depth(self, session_id: str) -> int:
-        return self._per_session_depth.get(session_id, 0)
+        return len(self._session_pending.get(session_id, ()))
 
     def next_deadline(self) -> float | None:
         """Earliest pending deadline (the service sleeps until it), or None."""
@@ -174,42 +183,72 @@ class CoalescingScheduler:
 
     # -- batch formation -------------------------------------------------------
 
+    def _oldest_head_key(self) -> str:
+        """The pool whose head is the globally oldest pending request.
+
+        That head is never ordering-blocked (any older same-session request
+        would itself be globally older), so draining this pool always makes
+        progress.
+        """
+        return min(self._pending, key=lambda key: self._pending[key][0].request_id)
+
+    def _due_keys(self, now: float) -> list[str]:
+        return [
+            key
+            for key, queue in self._pending.items()
+            if queue[0].deadline <= now
+            or sum(len(request.pairs) for request in queue)
+            >= self.target_batch_pairs
+        ]
+
+    def _unblock(self, model_key: str) -> str:
+        """Resolve ``model_key`` to a pool whose head is not ordering-blocked.
+
+        If the pool's head request has an older same-session request pending
+        in another pool, that pool must drain first; follow the chain (each
+        hop reaches a strictly older head, so it terminates).
+        """
+        while True:
+            head = self._pending[model_key][0]
+            first_id, first_key = self._session_pending[head.session_id][0]
+            if first_id == head.request_id:
+                return model_key
+            model_key = first_key
+
     def ready_batches(self, now: float) -> list[CoalescedBatch]:
-        """Drain every model-key pool whose flush trigger fired.
+        """Drain, oldest due pool first, until no flush trigger is live.
 
         Loops until quiescent: after this returns, every still-pending
         request has ``deadline > now`` **and** its pool is below the size
         target -- the starvation-freedom invariant the property suite pins.
+        A due pool whose head is blocked by an older same-session request in
+        another pool flushes that older pool early (a smaller batch):
+        per-session completion order is worth more than batch-formation
+        efficiency.
         """
         batches: list[CoalescedBatch] = []
-        progress = True
-        while progress:
-            progress = False
-            for model_key in list(self._pending):
-                queue = self._pending[model_key]
-                if not queue:
-                    del self._pending[model_key]
-                    continue
-                total = sum(len(request.pairs) for request in queue)
-                deadline_due = queue[0].deadline <= now
-                if not deadline_due and total < self.target_batch_pairs:
-                    continue
-                batches.append(self._drain(model_key, now, deadline_due))
-                progress = True
-        return batches
+        while True:
+            due = self._due_keys(now)
+            if not due:
+                return batches
+            oldest_due = min(due, key=lambda key: self._pending[key][0].request_id)
+            model_key = self._unblock(oldest_due)
+            deadline_due = self._pending[model_key][0].deadline <= now
+            batches.append(self._drain(model_key, now, deadline_due))
 
     def flush_pending(self, now: float) -> list[CoalescedBatch]:
         """Drain every pending request immediately, ignoring flush triggers.
 
         End-of-stream drain: a load replay that knows no more requests are
         coming (or a service shutting down) should not idle out the deadline
-        of the last partial batch.  Drain order and batch composition are
-        exactly what a deadline flush of each full pool would have produced.
+        of the last partial batch.  Pools drain oldest-head-first with the
+        same batch composition a deadline flush would have produced.
         """
         batches: list[CoalescedBatch] = []
-        for model_key in list(self._pending):
-            while self._pending.get(model_key):
-                batches.append(self._drain(model_key, now, deadline_flush=False))
+        while self._pending:
+            batches.append(
+                self._drain(self._oldest_head_key(), now, deadline_flush=False)
+            )
         return batches
 
     def _drain(
@@ -217,8 +256,11 @@ class CoalescingScheduler:
     ) -> CoalescedBatch:
         """Take requests in FIFO order up to ``max_batch_pairs`` and plan them.
 
-        Always takes at least one request, so a single oversized request
-        still executes (as its own batch) instead of starving.
+        Always takes at least one request (callers select a pool with an
+        unblocked head), so a single oversized request still executes (as
+        its own batch) instead of starving.  The take stops early at a
+        request whose session has an older request pending in another pool:
+        taking it would complete that session's requests out of order.
         """
         queue = self._pending[model_key]
         taken: list[ScoreRequest] = []
@@ -227,16 +269,20 @@ class CoalescingScheduler:
             request = queue[0]
             if taken and pairs + len(request.pairs) > self.max_batch_pairs:
                 break
-            taken.append(queue.pop(0))
+            session_queue = self._session_pending[request.session_id]
+            # Pop session bookkeeping as each request is taken, so a later
+            # same-pool request of the same session sees *this* request as
+            # already completed and is not spuriously treated as blocked.
+            if session_queue[0][0] != request.request_id:
+                break
+            queue.popleft()
+            session_queue.popleft()
+            if not session_queue:
+                del self._session_pending[request.session_id]
+            taken.append(request)
             pairs += len(request.pairs)
         if not queue:
             del self._pending[model_key]
-        for request in taken:
-            depth = self._per_session_depth[request.session_id] - 1
-            if depth:
-                self._per_session_depth[request.session_id] = depth
-            else:
-                del self._per_session_depth[request.session_id]
         concatenated = [pair for request in taken for pair in request.pairs]
         plan = plan_microbatches(
             concatenated,

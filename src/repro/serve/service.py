@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
@@ -83,6 +84,14 @@ class AdmissionController:
     def open_session(self, session_id: str) -> None:
         if session_id in self._active:
             raise AdmissionError(f"session {session_id!r} is already open")
+        if self._inflight.get(session_id, 0):
+            # A closed session's in-flight requests are still draining; a
+            # reopened incarnation must not inherit their counts (it would
+            # start at a phantom depth and reject its own first requests).
+            raise AdmissionError(
+                f"session {session_id!r} still has "
+                f"{self._inflight[session_id]} requests draining"
+            )
         if len(self._active) >= self.max_sessions:
             raise AdmissionError(
                 f"session limit reached ({self.max_sessions} in flight)"
@@ -148,30 +157,46 @@ class EngineBackend:
 
     def __init__(self, engine_config: EngineConfig) -> None:
         self.engine_config = replace(engine_config, persist_scores=False)
+        self._registry_lock = threading.Lock()
         self._engines: dict[str, ScoringEngine] = {}
+        self._tenant_locks: dict[str, threading.Lock] = {}
+
+    def _tenant_lock(self, tenant: str) -> threading.Lock:
+        with self._registry_lock:
+            return self._tenant_locks.setdefault(tenant, threading.Lock())
 
     def score(
         self, resident: ResidentModel, plan: Sequence[MicroBatch]
     ) -> list[np.ndarray]:
-        engine = self._engines.get(resident.tenant)
-        if engine is None:
-            engine = ScoringEngine(
-                resident.model,
-                resident.classifier,
-                resident.special_ids,
-                self.engine_config,
-            )
-            self._engines[resident.tenant] = engine
-        elif engine.model is not resident.model:
-            engine.model = resident.model
-            engine.classifier = resident.classifier
-            engine.invalidate_model()
-        return engine.score_plan(list(plan))
+        # Batches for one tenant execute one at a time: score() runs on
+        # executor threads, and two in-flight batches pinned to *different*
+        # versions of the same tenant must not interleave the rebind below
+        # with each other's scoring, or one would score against the wrong
+        # version's weights.  Different tenants still score concurrently.
+        with self._tenant_lock(resident.tenant):
+            with self._registry_lock:
+                engine = self._engines.get(resident.tenant)
+            if engine is None:
+                engine = ScoringEngine(
+                    resident.model,
+                    resident.classifier,
+                    resident.special_ids,
+                    self.engine_config,
+                )
+                with self._registry_lock:
+                    self._engines[resident.tenant] = engine
+            elif engine.model is not resident.model:
+                engine.model = resident.model
+                engine.classifier = resident.classifier
+                engine.invalidate_model()
+            return engine.score_plan(list(plan))
 
     def close(self) -> None:
-        for engine in self._engines.values():
+        with self._registry_lock:
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for engine in engines:
             engine.close()
-        self._engines.clear()
 
 
 # -- the service -------------------------------------------------------------------
@@ -415,23 +440,30 @@ class ServeService:
                 pass
 
     async def _execute(self, batch: CoalescedBatch, loop: asyncio.AbstractEventLoop) -> None:
-        """Score one coalesced batch on a worker thread and scatter results."""
-        resident = self.residency.acquire(batch.model_key)
+        """Score one coalesced batch on a worker thread and scatter results.
+
+        Never raises: *any* failure -- a version evicted before execution
+        (every pin released by cancelled futures), a backend error, a
+        scatter bug -- fails this batch's futures instead of propagating
+        into the scheduler task and silently killing the service.
+        """
         try:
-            results = await loop.run_in_executor(
-                None, self.backend.score, resident, batch.plan
-            )
+            resident = self.residency.acquire(batch.model_key)
+            try:
+                results = await loop.run_in_executor(
+                    None, self.backend.score, resident, batch.plan
+                )
+            finally:
+                self.residency.release(batch.model_key)
+            routed = batch.scatter(results)
         except Exception as exc:
             for request in batch.requests:
+                self.stats.requests_failed += 1
                 if request.future is not None and not request.future.done():
                     request.future.set_exception(
                         RuntimeError(f"batch execution failed: {exc}")
                     )
-                self.stats.requests_failed += 1
             return
-        finally:
-            self.residency.release(batch.model_key)
-        routed = batch.scatter(results)
         now = self.clock()
         self.stats.batches += 1
         self.stats.microbatches += len(batch.plan)

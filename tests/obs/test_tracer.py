@@ -166,6 +166,50 @@ class TestAmbientActivation:
                 assert obs.current_tracer() is second
             assert obs.current_tracer() is first
 
+    def test_activation_does_not_bleed_across_threads(self):
+        # Regression: the ambient holder was a threading.local subclass with
+        # __slots__, which stored the value on the *shared* instance and
+        # re-ran __init__ on each new thread's first access -- another
+        # thread merely reading current_tracer() reset an activation to
+        # NULL_TRACER mid-block.
+        tracer = obs.Tracer()
+        observed = {}
+
+        def probe():
+            observed["tracer"] = obs.current_tracer()
+
+        with obs.activated(tracer):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+            # The probe thread saw the default, not this thread's activation...
+            assert observed["tracer"] is obs.NULL_TRACER
+            # ...and its read did not disturb this thread's activation.
+            assert obs.current_tracer() is tracer
+            assert obs.enabled()
+        assert obs.current_tracer() is obs.NULL_TRACER
+
+    def test_activation_isolated_between_asyncio_tasks(self):
+        import asyncio
+
+        async def activate_and_yield(tracer, results, key):
+            with obs.activated(tracer):
+                await asyncio.sleep(0)  # interleave with the sibling task
+                results[key] = obs.current_tracer()
+
+        async def main():
+            first, second = obs.Tracer(), obs.Tracer()
+            results = {}
+            await asyncio.gather(
+                activate_and_yield(first, results, "a"),
+                activate_and_yield(second, results, "b"),
+            )
+            return first, second, results
+
+        first, second, results = asyncio.run(main())
+        assert results["a"] is first
+        assert results["b"] is second
+
 
 class TestCheck:
     def test_noop_when_tracing_off(self):

@@ -7,9 +7,10 @@ Two layers of isolation are on trial here:
   batches, but every session must get back exactly the scores its own
   tenant's weights produce for its own pairs;
 * **process-level** -- several OS threads each run a full traced
-  ``MatchingSession``; the ambient tracer is thread-local, so every NDJSON
-  trace must validate and carry exactly its *own* session's iteration
-  records (a shared-global tracer would interleave spans across files).
+  ``MatchingSession``; the ambient tracer is context-local (a ContextVar,
+  isolating threads *and* asyncio tasks), so every NDJSON trace must
+  validate and carry exactly its *own* session's iteration records (a
+  shared-global tracer would interleave spans across files).
 """
 
 from __future__ import annotations

@@ -17,7 +17,7 @@ properties can be checked exhaustively with a simulated clock:
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.lm.tokenizer import EncodedPair
@@ -87,10 +87,13 @@ class TestSchedulerProperties:
             for queue in scheduler._pending.values():
                 assert sum(len(r.pairs) for r in queue) < 10
             # Bounded queues.
-            for session_id, depth in scheduler._per_session_depth.items():
-                assert 1 <= depth <= 4
+            for session_id, queue in scheduler._session_pending.items():
+                assert 1 <= len(queue) <= 4
 
     @given(ops=ops_strategy)
+    # Regression: one session's requests alternating model keys drained as
+    # 1, 3, 2 when pools flushed whole-pool-at-a-time in dict order.
+    @example(ops=[("submit", 0, 0, 1), ("submit", 0, 1, 1), ("submit", 0, 0, 1)])
     @settings(max_examples=80, deadline=None)
     def test_fifo_per_session_completion_order(self, ops):
         scheduler = CoalescingScheduler(
@@ -130,6 +133,26 @@ class TestSchedulerProperties:
         for session, ids in submitted.items():
             # Every request completed, in exactly the order it was submitted.
             assert drained.get(session, []) == ids
+
+    def test_hot_swap_size_trigger_flushes_older_pool_first(self):
+        # A session's pre-swap request (old version's pool) must complete
+        # before its post-swap requests, even when only the *new* pool's
+        # size trigger fires: the blocked drain forces the older pool to
+        # flush early instead of reordering the session.
+        scheduler = CoalescingScheduler(
+            max_wait_s=60.0,
+            target_batch_pairs=4,
+            max_batch_pairs=8,
+            max_queue_per_session=8,
+        )
+        scheduler.submit("s0", "m0", _pairs(1), 0.0)  # r1, before hot-swap
+        scheduler.submit("s0", "m1", _pairs(2), 0.0)  # r2, after hot-swap
+        scheduler.submit("s1", "m1", _pairs(2), 0.0)  # r3 fills m1 to target
+        batches = scheduler.ready_batches(0.0)
+        assert [batch.model_key for batch in batches] == ["m0", "m1"]
+        assert [
+            request.request_id for batch in batches for request in batch.requests
+        ] == [1, 2, 3]
 
     @given(ops=ops_strategy)
     @settings(max_examples=60, deadline=None)

@@ -136,6 +136,21 @@ class TestAdmissionController:
         controller.end_request("s")  # completing after close is fine
         assert controller.inflight("s") == 0
 
+    def test_reopen_refused_while_ghost_inflight_drains(self):
+        # Regression: reopening a just-closed session_id inherited the old
+        # incarnation's draining in-flight count, spuriously rejecting the
+        # new session's own first requests.
+        controller = AdmissionController(2, 1)
+        controller.open_session("s")
+        controller.begin_request("s")
+        controller.close_session("s")
+        with pytest.raises(AdmissionError, match="draining"):
+            controller.open_session("s")
+        controller.end_request("s")  # the ghost request completes
+        controller.open_session("s")  # now the id is reusable...
+        controller.begin_request("s")  # ...starting from depth zero
+        assert controller.inflight("s") == 1
+
 
 class TestScoring:
     def test_lone_request_is_deadline_flushed_not_starved(self, tenant_stack):
@@ -247,6 +262,30 @@ class TestScoring:
                     entry.pins == 0
                     for entry in service.residency._entries.values()
                 )
+
+        run(scenario())
+
+    def test_vanished_version_fails_batch_not_scheduler(self, tenant_stack):
+        # Regression: residency.acquire in _execute sat outside the failure
+        # path, so a version evicted between batch formation and execution
+        # (cancelled pins + hot-swap + capacity pressure) raised into the
+        # scheduler task and silently killed the service.
+        async def scenario():
+            async with ServeService(small_config()) as service:
+                service.register_tenant("t0", *tenant_stack)
+                handle = service.open_session("t0")
+                future = service.submit_nowait(handle, make_pairs(0, 2))
+                # Yank every resident version out from under the queued
+                # request -- the eviction race in miniature.
+                with service.residency._lock:
+                    for entry in list(service.residency._entries.values()):
+                        service.residency._evict(entry)
+                with pytest.raises(RuntimeError, match="batch execution failed"):
+                    await future
+                # The scheduler task survived: a fresh publish serves again.
+                service.register_tenant("t0", *tenant_stack)
+                scores = await service.submit(handle, make_pairs(1, 2))
+                assert scores.shape == (2,)
 
         run(scenario())
 

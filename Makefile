@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity test-serve-slow bench-engine bench-train bench-serving bench-serve bench-retrieval trace-smoke
+.PHONY: verify test parity test-serve-slow test-autotune-slow quant-gate bench-engine bench-engine-quant bench-train bench-serving bench-serve bench-retrieval trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -18,9 +18,25 @@ parity:
 test-serve-slow:
 	$(PYTHON) -m pytest -q tests/serve -m slow
 
-## Engine perf smoke (tier-2): emits BENCH_engine.json at the repo root.
+## Engine perf smoke (tier-2): bucketing + int8 rung vs bucketed float32
+## with the ranking-space parity gate; emits BENCH_engine.json at the root.
 bench-engine:
 	$(PYTHON) -m pytest -q benchmarks/test_engine_throughput.py
+
+## Int8-rung bench alone (tier-2): >= 2x over bucketed float32 + parity
+## gate; rewrites BENCH_engine.json.
+bench-engine-quant:
+	$(PYTHON) -m pytest -q benchmarks/test_engine_throughput.py -k int8_rung
+
+## Ranking-space parity gate (tier-2): identical top-1 + AUC within 1e-3
+## between float32 and int8 scores on every public ground-truth dataset.
+quant-gate:
+	$(PYTHON) -m pytest -q tests/eval/test_quant_gate.py
+
+## Slow autotuner sweep (tier-2): measures every candidate strategy per
+## shape; excluded from `make test` by the `slow` marker.
+test-autotune-slow:
+	$(PYTHON) -m pytest -q tests/engine -m slow
 
 ## Training perf smoke (tier-2): emits BENCH_train.json at the repo root.
 bench-train:

@@ -1,0 +1,54 @@
+"""Shared emitter for the repo-root ``BENCH_*.json`` datapoints.
+
+Every benchmark test writes one JSON datapoint CI uploads as an artifact.
+They used to hand-roll their own shapes, which drifted (``naive_seconds``
+vs ``respawn_seconds`` vs ``sequential_seconds`` for the same concept);
+this module pins one common schema:
+
+* ``benchmark`` -- datapoint name (stable across PRs, greppable);
+* ``workload`` -- dict fingerprinting what was measured (sizes, shapes,
+  worker counts), so a speedup is never read without its workload;
+* ``baseline_seconds`` / ``fast_seconds`` -- wall-clock of the slow and
+  fast path of a two-path comparison;
+* ``speedup`` -- ``baseline_seconds / fast_seconds`` (computed here
+  unless the benchmark's ratio is not a plain wall-clock quotient);
+* ``gate`` -- the values the test asserts on, recorded so an uploaded
+  artifact shows *why* CI passed (or what tripped);
+* benchmark-specific readings ride along under ``extra``.
+
+Returns the datapoint dict so tests can embed it in assertion messages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def emit_benchmark(
+    file_name: str,
+    benchmark: str,
+    workload: dict,
+    baseline_seconds: float | None = None,
+    fast_seconds: float | None = None,
+    speedup: float | None = None,
+    gate: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Write one common-schema datapoint to ``<repo root>/<file_name>``."""
+    datapoint: dict = {"benchmark": benchmark, "workload": workload}
+    if baseline_seconds is not None:
+        datapoint["baseline_seconds"] = round(baseline_seconds, 6)
+    if fast_seconds is not None:
+        datapoint["fast_seconds"] = round(fast_seconds, 6)
+    if speedup is None and baseline_seconds is not None and fast_seconds:
+        speedup = baseline_seconds / fast_seconds
+    if speedup is not None:
+        datapoint["speedup"] = round(speedup, 3)
+    datapoint["gate"] = gate or {}
+    if extra:
+        datapoint["extra"] = extra
+    (REPO_ROOT / file_name).write_text(json.dumps(datapoint, indent=2) + "\n")
+    return datapoint

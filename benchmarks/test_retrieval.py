@@ -19,10 +19,9 @@ Emits ``BENCH_retrieval.json`` at the repo root (uploaded by CI).
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
+from _emit import emit_benchmark
 from conftest import register_report
 
 from repro.core import (
@@ -176,26 +175,32 @@ def test_retrieval_speedup_with_unchanged_matches():
         )
     )
 
-    datapoint = {
-        "benchmark": "retrieval",
-        "scale_factor": SCALE_FACTOR,
-        "num_source_attributes": source.num_attributes,
-        "num_target_attributes": scaled.num_attributes,
-        "pairs_full_product": full_product,
-        "pairs_after_pruning": retrieval["pairs_scored"],
-        "candidates_per_source": CANDIDATES_PER_SOURCE,
-        "pair_reduction": round(reduction, 2),
-        "full_predict_seconds": full["predict_seconds"],
-        "retrieval_predict_seconds": retrieval["predict_seconds"],
-        "predict_speedup": round(speedup, 2),
-        "full_session_labels": full["session_labels"],
-        "retrieval_session_labels": retrieval["session_labels"],
-        "matches_identical": full["matches"] == retrieval["matches"],
-        "retrieval_stats": retrieval["retrieval_stats"],
-        "recall_gate": gates,
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_retrieval.json"
-    out_path.write_text(json.dumps(datapoint, indent=2) + "\n")
+    datapoint = emit_benchmark(
+        "BENCH_retrieval.json",
+        benchmark="retrieval",
+        workload={
+            "scale_factor": SCALE_FACTOR,
+            "num_source_attributes": source.num_attributes,
+            "num_target_attributes": scaled.num_attributes,
+            "pairs_full_product": full_product,
+            "candidates_per_source": CANDIDATES_PER_SOURCE,
+        },
+        baseline_seconds=full["predict_seconds"],
+        fast_seconds=retrieval["predict_seconds"],
+        gate={
+            "matches_identical": full["matches"] == retrieval["matches"],
+            "recall_gate": gates,
+        },
+        extra={
+            "baseline": "full cross product predict()",
+            "fast": f"retrieve-then-rerank (k={CANDIDATES_PER_SOURCE})",
+            "pairs_after_pruning": retrieval["pairs_scored"],
+            "pair_reduction": round(reduction, 2),
+            "full_session_labels": full["session_labels"],
+            "retrieval_session_labels": retrieval["session_labels"],
+            "retrieval_stats": retrieval["retrieval_stats"],
+        },
+    )
 
     # ISSUE-6 acceptance: >= 3x end-to-end predict() speedup ...
     assert speedup >= MIN_SPEEDUP, datapoint

@@ -20,11 +20,10 @@ recorded.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
+from _emit import emit_benchmark
 from conftest import register_report
 
 from repro.eval.reporting import render_table
@@ -121,33 +120,42 @@ def test_coalesced_replay_beats_sequential():
         )
     )
 
-    datapoint = {
-        "benchmark": "serve_load",
-        "requests": N_REQUESTS,
-        "sessions": N_SESSIONS,
-        "tenants": N_TENANTS,
-        "hot_swaps": script.n_swaps,
-        "pairs_scored": metrics["serve.pairs_scored"],
-        "sequential_seconds": round(sequential.seconds, 6),
-        "coalesced_seconds": round(coalesced.seconds, 6),
-        "sequential_all_seconds": [round(r.seconds, 6) for r in sequential_runs],
-        "coalesced_all_seconds": [round(r.seconds, 6) for r in coalesced_runs],
-        "speedup": round(speedup, 3),
-        "parity_max_abs_deviation": float(deviation),
-        "latency_p50_ms": metrics["serve.latency_p50_ms"],
-        "latency_p99_ms": metrics["serve.latency_p99_ms"],
-        "queue_wait_p99_ms": metrics["serve.queue_wait_p99_ms"],
-        "queue_depth_peak": metrics["serve.queue_depth_peak"],
-        "pending_pairs_peak": metrics["serve.pending_pairs_peak"],
-        "batches": metrics["serve.batches"],
-        "cross_session_batches": metrics["serve.cross_session_batches"],
-        "coalesce_ratio": metrics["serve.coalesce_ratio"],
-        "forced_flushes": metrics["serve.forced_flushes"],
-        "shm_resident_versions": metrics["residency.shm_resident"],
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
-    out_path.write_text(json.dumps(datapoint, indent=2) + "\n")
+    datapoint = emit_benchmark(
+        "BENCH_serve.json",
+        benchmark="serve_load",
+        workload={
+            "requests": N_REQUESTS,
+            "sessions": N_SESSIONS,
+            "tenants": N_TENANTS,
+            "hot_swaps": script.n_swaps,
+            "pairs_scored": metrics["serve.pairs_scored"],
+        },
+        baseline_seconds=sequential.seconds,
+        fast_seconds=coalesced.seconds,
+        gate={
+            "min_speedup": MIN_SPEEDUP,
+            "parity_atol": PARITY_ATOL,
+            "parity_max_abs_deviation": float(deviation),
+            "max_p99_ms": MAX_P99_MS,
+            "latency_p99_ms": metrics["serve.latency_p99_ms"],
+        },
+        extra={
+            "baseline": "sequential per-request replay",
+            "fast": "coalesced (ServeService)",
+            "baseline_all_seconds": [round(r.seconds, 6) for r in sequential_runs],
+            "fast_all_seconds": [round(r.seconds, 6) for r in coalesced_runs],
+            "latency_p50_ms": metrics["serve.latency_p50_ms"],
+            "queue_wait_p99_ms": metrics["serve.queue_wait_p99_ms"],
+            "queue_depth_peak": metrics["serve.queue_depth_peak"],
+            "pending_pairs_peak": metrics["serve.pending_pairs_peak"],
+            "batches": metrics["serve.batches"],
+            "cross_session_batches": metrics["serve.cross_session_batches"],
+            "coalesce_ratio": metrics["serve.coalesce_ratio"],
+            "forced_flushes": metrics["serve.forced_flushes"],
+            "shm_resident_versions": metrics["residency.shm_resident"],
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    )
 
     # -- gates (the acceptance criteria of the serving service) ---------------
     assert metrics["serve.requests_completed"] == N_REQUESTS, datapoint

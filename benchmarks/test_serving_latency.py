@@ -13,11 +13,10 @@ the >= 5x reduction the plane exists to provide.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
+from _emit import emit_benchmark
 from conftest import register_report
 
 from repro.engine import EngineConfig, ScoringEngine, live_segment_names
@@ -120,18 +119,23 @@ def test_hot_swap_beats_respawn_on_post_update_latency():
         )
     )
 
-    datapoint = {
-        "benchmark": "serving_latency",
-        "n_workers": N_WORKERS,
-        "pairs": NUM_PAIRS,
-        "updates": NUM_UPDATES,
-        "respawn_seconds": round(respawn_seconds, 6),
-        "hot_swap_seconds": round(hot_swap_seconds, 6),
-        "respawn_all_seconds": [round(s, 6) for s in respawn],
-        "hot_swap_all_seconds": [round(s, 6) for s in hot_swap],
-        "speedup": round(speedup, 3),
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
-    out_path.write_text(json.dumps(datapoint, indent=2) + "\n")
+    datapoint = emit_benchmark(
+        "BENCH_serving.json",
+        benchmark="serving_latency",
+        workload={
+            "n_workers": N_WORKERS,
+            "pairs": NUM_PAIRS,
+            "updates": NUM_UPDATES,
+        },
+        baseline_seconds=respawn_seconds,
+        fast_seconds=hot_swap_seconds,
+        gate={"min_speedup": MIN_SPEEDUP},
+        extra={
+            "baseline": "respawn (pickle pool)",
+            "fast": "hot-swap (shm arena)",
+            "baseline_all_seconds": [round(s, 6) for s in respawn],
+            "fast_all_seconds": [round(s, 6) for s in hot_swap],
+        },
+    )
 
     assert speedup >= MIN_SPEEDUP, datapoint

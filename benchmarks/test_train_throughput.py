@@ -17,11 +17,10 @@ same samples; the measured speedup lands in ``BENCH_train.json``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
+from _emit import emit_benchmark
 from conftest import register_report
 
 from repro.engine.batching import plan_training_microbatches
@@ -162,18 +161,20 @@ def test_fused_bucketed_training_beats_naive():
         )
     )
 
-    datapoint = {
-        "benchmark": "train_throughput",
-        "pairs": len(encoded),
-        "max_length": MAX_LENGTH,
-        "length_profile": LENGTH_PROFILE,
-        "batch_size": BATCH_SIZE,
-        "naive_seconds": round(naive_seconds, 6),
-        "fast_seconds": round(fast_seconds, 6),
-        "speedup": round(speedup, 3),
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_train.json"
-    out_path.write_text(json.dumps(datapoint, indent=2) + "\n")
+    datapoint = emit_benchmark(
+        "BENCH_train.json",
+        benchmark="train_throughput",
+        workload={
+            "pairs": len(encoded),
+            "max_length": MAX_LENGTH,
+            "length_profile": LENGTH_PROFILE,
+            "batch_size": BATCH_SIZE,
+        },
+        baseline_seconds=naive_seconds,
+        fast_seconds=fast_seconds,
+        gate={"min_speedup": 1.5},
+        extra={"baseline": "unfused attention, full padding", "fast": "fused + bucketed"},
+    )
 
     # The acceptance bar is >= 3x on this profile; assert a softer floor so
     # a loaded CI box does not flake, while the JSON records the real margin.

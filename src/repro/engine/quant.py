@@ -1,0 +1,117 @@
+"""Int8 scoring rung: quantized scorer + quantize-on-publish helpers.
+
+The scoring engine's float32 path is exact; this module adds the *int8
+rung* the kernel autotuner (:mod:`repro.engine.autotune`) can select per
+micro-batch shape:
+
+* :class:`QuantizedScorer` owns a :class:`repro.lm.bert.QuantizedMiniBert`
+  built over the live float model and scores encoded batches through it,
+  with the autotuner's packing (``fold``/``accum``) and micro-batch split
+  applied per call.
+* **Quantize-on-publish**: :meth:`QuantizedScorer.quant_tensors` is the flat
+  walk of the quantized artifacts (int8 ``weight_q`` + per-channel
+  ``scale`` + ``bias``) under the ``quant.`` name prefix.  The engine
+  appends these to every shared-memory arena publish, so pool workers and
+  :mod:`repro.serve.residency` snapshots bind **pre-quantized zero-copy
+  views** via :meth:`QuantizedScorer.rebind_views` -- a hot swap re-binds
+  int8 storage instead of re-running quantization per worker.
+
+Parity is governed in *ranking space*: scores deviate from float32 only
+through quantization rounding, and :mod:`repro.eval.quant` gates the rung on
+identical top-1 and AUC within epsilon on the public datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..lm.bert import QuantizedMiniBert
+from ..lm.tokenizer import EncodedPair
+from ..nn.serialize import bind_state_views, flat_tensors
+from .batching import split_batch
+
+#: Arena name prefix of quantized artifacts, alongside the existing
+#: ``model.`` / ``classifier.`` prefixes (whose binds ignore it).
+QUANT_PREFIX = "quant."
+
+
+def has_quant_views(views: dict[str, np.ndarray]) -> bool:
+    """Whether a published view set carries quantized artifacts."""
+    return any(name.startswith(QUANT_PREFIX) for name in views)
+
+
+class QuantizedScorer:
+    """Scores encoded batches through the int8 rung of a live float model.
+
+    Construction quantizes every GEMM weight of ``model`` (per-output-channel
+    symmetric int8); embeddings, norms and the matching classifier stay
+    float32 and are *referenced*, not copied.  The scorer is tied to one
+    weight version -- the engine rebuilds it after
+    :meth:`~repro.engine.engine.ScoringEngine.invalidate_model` (float
+    weights mutate in place, which quantized images cannot observe).
+    """
+
+    def __init__(self, model, classifier, special_ids: Sequence[int]) -> None:
+        self.model = model
+        self.classifier = classifier
+        self.special_ids = list(special_ids)
+        self.qbert = QuantizedMiniBert(model)
+
+    # -- publish / bind ----------------------------------------------------------
+
+    def quant_tensors(self) -> list[tuple[str, np.ndarray]]:
+        """``quant.``-prefixed flat walk of the quantized artifacts.
+
+        This is the quantize-on-publish payload: the parent quantizes once
+        and every arena consumer binds the result zero-copy.
+        """
+        return [
+            (f"{QUANT_PREFIX}{name}", array)
+            for name, array in flat_tensors(self.qbert)
+        ]
+
+    def rebind_views(self, views: dict[str, np.ndarray]) -> None:
+        """Bind the quantized parameters to pre-quantized arena views.
+
+        ``views`` is a full published view set (all prefixes); anything not
+        under ``quant.`` is ignored.  Raises :class:`KeyError` if the publish
+        carried no quantized artifacts -- callers treat that as "this
+        version was published without the int8 rung" and fall back.
+        """
+        quant_views = {
+            name.removeprefix(QUANT_PREFIX): view
+            for name, view in views.items()
+            if name.startswith(QUANT_PREFIX)
+        }
+        if not quant_views:
+            raise KeyError("published views carry no quantized tensors")
+        bind_state_views(self.qbert, quant_views)
+
+    # -- scoring -----------------------------------------------------------------
+
+    def score(
+        self, batch: EncodedPair, packing: str = "fold", split: int = 1
+    ) -> np.ndarray:
+        """Score one stacked batch on the int8 rung.
+
+        ``packing`` selects the quantized-GEMM strategy and ``split`` the
+        row-wise micro-batch split point -- both axes of the kernel
+        autotuner's per-shape search.  Output is positionally aligned with
+        the batch rows, like :func:`repro.featurizers.bert.score_encoded_batch`.
+        """
+        from ..featurizers.bert import score_encoded_batch
+
+        self.qbert.packing = packing
+        chunks = split_batch(batch, split)
+        if len(chunks) == 1:
+            return score_encoded_batch(
+                self.qbert, self.classifier, self.special_ids, batch
+            )
+        return np.concatenate(
+            [
+                score_encoded_batch(self.qbert, self.classifier, self.special_ids, chunk)
+                for chunk in chunks
+            ]
+        )

@@ -55,6 +55,16 @@ class EngineStats:
     invalidations: int = 0
     #: Calls to ``score_encoded``.
     scoring_calls: int = 0
+    #: Micro-batches executed on the int8 quantized rung.
+    quant_batches: int = 0
+    #: Micro-batches the int8 rung refused or failed, falling back to float32.
+    quant_fallbacks: int = 0
+    #: Autotune passes that measured at least one new shape.
+    autotune_runs: int = 0
+    #: Distinct (length, rows) shapes measured by the kernel autotuner.
+    autotune_shapes: int = 0
+    #: Engine startups whose autotune plan loaded from the persisted store.
+    autotune_cache_hits: int = 0
     #: Wall-clock seconds per named stage.
     stage_seconds: dict[str, float] = field(default_factory=dict)
     #: Invocations per named stage.
@@ -89,28 +99,17 @@ class EngineStats:
         return merged
 
     def as_dict(self) -> dict[str, object]:
-        """Flat snapshot: counters plus ``time.<stage>`` seconds."""
+        """Flat snapshot: counters plus ``time.<stage>`` seconds.
+
+        Derived from the dataclass fields (declaration order) rather than a
+        hand-maintained name list, so a newly added counter always renders
+        -- as ``0`` when untouched -- instead of silently vanishing from
+        ``repro engine stats``.
+        """
         payload: dict[str, object] = {
-            name: getattr(self, name)
-            for name in (
-                "pairs_requested",
-                "pairs_skipped",
-                "pairs_scored",
-                "pairs_persisted_hits",
-                "buckets",
-                "microbatches",
-                "worker_batches",
-                "shm_batches",
-                "inprocess_batches",
-                "worker_fallbacks",
-                "shm_fallbacks",
-                "publishes",
-                "publish_bytes",
-                "hot_swaps",
-                "respawns_avoided",
-                "invalidations",
-                "scoring_calls",
-            )
+            f.name: getattr(self, f.name)
+            for f in fields(EngineStats)
+            if f.name not in ("stage_seconds", "stage_calls")
         }
         for stage in sorted(self.stage_seconds):
             payload[f"time.{stage}"] = round(self.stage_seconds[stage], 6)

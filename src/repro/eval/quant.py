@@ -1,0 +1,305 @@
+"""Ranking-space parity gate for the int8 inference rung.
+
+Speed alone does not justify shipping the quantized scorer: the engine may
+only route a shape to int8 if the *rankings* users see are unchanged.  This
+module defines that bar over the public gate datasets
+(:data:`~repro.eval.retrieval.GATE_DATASETS`):
+
+* **identical top-1**: for every source attribute, the argmax target under
+  int8 scores must equal the argmax under float32 scores;
+* **AUC within epsilon**: the ROC AUC of int8 scores against ground truth
+  must match the float32 AUC within :data:`PARITY_AUC_EPSILON`.
+
+Two subtleties make naive checks vacuous or unstable:
+
+* A freshly initialised :class:`~repro.featurizers.bert.MatchingClassifier`
+  zero-inits its channel-path output, so its logit is
+  ``3 * cos(u0, v0) - 1`` over *raw embedding* pooling -- a path
+  quantization never touches -- and float/int8 scores come out
+  bit-identical no matter how wrong the quantized encoder is.
+* A classifier with *random* non-zero channel weights produces near-tied
+  scores everywhere, so any numerical perturbation (a different BLAS
+  summation order, let alone int8) flips argmaxes among noise.
+
+The gate therefore **fits** the classifier on the task's float32 features
+first (:func:`fit_gate_classifier`), so quantized hidden states drive
+every logit through trained weights and rankings carry real margins --
+the regime a deployed matcher actually operates in.  Both rungs then
+score with the *same* trained classifier; only the encoder kernels
+differ.
+
+Used by the tier-1 parity test, ``make bench-engine-quant`` and the CI
+parity-gate step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets import MatchingTask, load_dataset
+from ..engine.quant import QuantizedScorer
+from ..featurizers.bert import (
+    MatchingClassifier,
+    compute_match_features,
+    score_encoded_batch,
+)
+from ..lm.bert import MiniBert
+from ..lm.config import BertConfig
+from ..lm.tokenizer import WordPieceTokenizer, stack_encoded, trim_encoded
+from ..lm.vocab import build_vocab
+from ..nn.losses import binary_cross_entropy_with_logits
+from ..nn.optim import Adam
+from ..text.corpus import build_corpus
+from .metrics import roc_auc
+from .retrieval import GATE_DATASETS
+
+#: Maximum allowed |AUC(int8) - AUC(float32)| on a gate dataset.
+PARITY_AUC_EPSILON = 1e-3
+
+#: Encoded sentence length of gate pairs.  Attribute name+description pairs
+#: of the public datasets fit comfortably; shorter rows mean the gate stays
+#: cheap enough for tier-1.
+GATE_MAX_LENGTH = 48
+
+#: Scoring chunk size -- bounds peak activation memory on large cross
+#: products without affecting scores (rows are independent).
+GATE_CHUNK_ROWS = 256
+
+
+@dataclass
+class QuantParityReport:
+    """Float32-vs-int8 ranking parity of one dataset's candidate pairs."""
+
+    dataset: str
+    packing: str
+    pairs: int
+    sources: int
+    #: Fraction of source attributes whose top-1 target is identical
+    #: between the float32 and int8 rungs (the gate requires 1.0).
+    top1_agreement: float
+    auc_float32: float
+    auc_int8: float
+    max_score_deviation: float
+    auc_epsilon: float = field(default=PARITY_AUC_EPSILON)
+
+    @property
+    def auc_delta(self) -> float:
+        return abs(self.auc_int8 - self.auc_float32)
+
+    @property
+    def passed(self) -> bool:
+        return self.top1_agreement == 1.0 and self.auc_delta <= self.auc_epsilon
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "packing": self.packing,
+            "pairs": self.pairs,
+            "sources": self.sources,
+            "top1_agreement": self.top1_agreement,
+            "auc_float32": self.auc_float32,
+            "auc_int8": self.auc_int8,
+            "auc_delta": self.auc_delta,
+            "max_score_deviation": self.max_score_deviation,
+            "passed": self.passed,
+        }
+
+
+def activate_channel_path(
+    classifier: MatchingClassifier, seed: int = 0, scale: float = 0.3
+) -> None:
+    """Give the classifier's channel path seeded non-zero output weights.
+
+    At init the channel path is silent (``output.weight == 0`` and the
+    contextual-cosine scalar weight is 0), so scores depend only on raw
+    embeddings and any float-vs-int8 comparison passes trivially.  This
+    wires quantized hidden states into the logit the way training would.
+    """
+    rng = np.random.default_rng(seed)
+    shape = classifier.output.weight.value.shape
+    classifier.output.weight.value[:] = (
+        rng.standard_normal(shape) * scale
+    ).astype(np.float32)
+    classifier.scalar_path.weight.value[0] = 1.0
+
+
+def fit_gate_classifier(
+    model: MiniBert,
+    classifier: MatchingClassifier,
+    special_ids: list[int],
+    batch,
+    labels: np.ndarray,
+    steps: int = 150,
+    lr: float = 0.02,
+) -> float:
+    """Fit the classifier on the encoder's float32 features; returns loss.
+
+    Full-batch Adam over precomputed features (the encoder is frozen) --
+    cheap, deterministic, and exactly the coupling a trained deployment
+    has: quantized hidden states reach the logit through non-trivial
+    channel weights, and ground-truth pairs sit at real margins above
+    non-matches instead of in a sea of near-ties.  Positives are
+    up-weighted to balance the cross product's label skew.
+    """
+    features, _ = compute_match_features(model, special_ids, batch)
+    targets = labels.astype(np.float32)
+    num_positive = float(targets.sum())
+    num_negative = float(targets.size - num_positive)
+    weights = np.where(
+        targets > 0.5, max(num_negative / max(num_positive, 1.0), 1.0), 1.0
+    ).astype(np.float32)
+    classifier.train()
+    optimizer = Adam(classifier.parameters(), lr=lr)
+    loss = float("nan")
+    for _ in range(steps):
+        logits = classifier.forward(features)
+        loss, grad_logits = binary_cross_entropy_with_logits(
+            logits, targets, weights=weights
+        )
+        optimizer.zero_grad()
+        classifier.backward(grad_logits)
+        optimizer.step()
+    classifier.eval()
+    return float(loss)
+
+
+def gate_scorers(
+    task: MatchingTask,
+    seed: int = 0,
+    hidden_size: int = 32,
+    vocab_target_size: int = 300,
+) -> tuple[WordPieceTokenizer, MiniBert, MatchingClassifier]:
+    """A cheap, deterministic (tokenizer, model, classifier) for ``task``.
+
+    Builds a dataset-scoped WordPiece vocab and a seeded MiniBERT small
+    enough for tier-1 -- no MLM pre-training, since parity is a property of
+    the kernels, not of weight quality.  The classifier comes back
+    *untrained*; :func:`quant_parity_report` fits it on the task's float
+    features before comparing rungs.
+    """
+    corpus = build_corpus(schemata=[task.source, task.target], seed=seed)
+    vocab = build_vocab(corpus, target_size=vocab_target_size)
+    tokenizer = WordPieceTokenizer(vocab)
+    config = BertConfig(
+        vocab_size=len(vocab),
+        hidden_size=hidden_size,
+        num_layers=2,
+        num_heads=2,
+        intermediate_size=2 * hidden_size,
+        max_position=GATE_MAX_LENGTH,
+    )
+    model = MiniBert(config, seed=seed)
+    model.eval()
+    classifier = MatchingClassifier(
+        hidden_size, hidden_size // 2, np.random.default_rng(seed + 1)
+    )
+    classifier.eval()
+    return tokenizer, model, classifier
+
+
+def encode_task_pairs(task: MatchingTask, tokenizer: WordPieceTokenizer):
+    """Encode the task's full source x target cross product.
+
+    Returns ``(batch, labels, num_sources)`` where ``batch`` rows are
+    grouped by source (``num_targets`` consecutive rows per source) and
+    ``labels`` marks ground-truth pairs.
+    """
+    sources = task.source.attribute_refs()
+    targets = task.target.attribute_refs()
+    encoded = []
+    labels = []
+    for source_ref in sources:
+        source_attr = task.source.attribute(source_ref)
+        for target_ref in targets:
+            target_attr = task.target.attribute(target_ref)
+            encoded.append(
+                tokenizer.encode_attribute_pair(
+                    source_attr.name,
+                    source_attr.description,
+                    target_attr.name,
+                    target_attr.description,
+                    max_length=GATE_MAX_LENGTH,
+                )
+            )
+            labels.append(
+                1.0 if task.ground_truth.get(source_ref) == target_ref else 0.0
+            )
+    batch = trim_encoded(stack_encoded(encoded))
+    return batch, np.asarray(labels, dtype=np.float64), len(sources)
+
+
+def _chunked(batch, chunk_rows: int):
+    rows = batch.input_ids.shape[0]
+    for start in range(0, rows, chunk_rows):
+        stop = min(start + chunk_rows, rows)
+        yield type(batch)(
+            input_ids=batch.input_ids[start:stop],
+            segment_ids=batch.segment_ids[start:stop],
+            attention_mask=batch.attention_mask[start:stop],
+        )
+
+
+def quant_parity_report(
+    task: MatchingTask,
+    seed: int = 0,
+    packing: str = "fold",
+    auc_epsilon: float = PARITY_AUC_EPSILON,
+) -> QuantParityReport:
+    """Float32-vs-int8 ranking parity of ``task``'s candidate cross product."""
+    tokenizer, model, classifier = gate_scorers(task, seed=seed)
+    batch, labels, num_sources = encode_task_pairs(task, tokenizer)
+    special_ids = sorted(tokenizer.vocab.special_ids())
+    fit_gate_classifier(model, classifier, special_ids, batch, labels)
+    quant = QuantizedScorer(model, classifier, special_ids)
+
+    float_scores = np.concatenate(
+        [
+            score_encoded_batch(model, classifier, special_ids, chunk)
+            for chunk in _chunked(batch, GATE_CHUNK_ROWS)
+        ]
+    )
+    int8_scores = np.concatenate(
+        [
+            quant.score(chunk, packing=packing)
+            for chunk in _chunked(batch, GATE_CHUNK_ROWS)
+        ]
+    )
+
+    per_source_float = float_scores.reshape(num_sources, -1)
+    per_source_int8 = int8_scores.reshape(num_sources, -1)
+    agreement = float(
+        np.mean(
+            per_source_float.argmax(axis=1) == per_source_int8.argmax(axis=1)
+        )
+    )
+    return QuantParityReport(
+        dataset=task.name,
+        packing=packing,
+        pairs=int(labels.size),
+        sources=num_sources,
+        top1_agreement=agreement,
+        auc_float32=roc_auc(labels, float_scores),
+        auc_int8=roc_auc(labels, int8_scores),
+        max_score_deviation=float(np.abs(int8_scores - float_scores).max()),
+        auc_epsilon=auc_epsilon,
+    )
+
+
+def quant_gate_reports(
+    datasets: list[str] | None = None,
+    seed: int = 0,
+    packing: str = "fold",
+    auc_epsilon: float = PARITY_AUC_EPSILON,
+) -> list[QuantParityReport]:
+    """Parity reports for every gate dataset (all must pass for a merge)."""
+    return [
+        quant_parity_report(
+            load_dataset(name),
+            seed=seed,
+            packing=packing,
+            auc_epsilon=auc_epsilon,
+        )
+        for name in (datasets or GATE_DATASETS)
+    ]

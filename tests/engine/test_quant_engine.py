@@ -1,0 +1,417 @@
+"""Engine integration of the int8 rung and the kernel autotuner.
+
+Covers the acceptance-critical behaviours of the quantized scoring path:
+
+* ``quant_mode="on"`` scores through the int8 rung (``quant_batches`` moves)
+  and stays within the rung's score tolerance of the exact float32 engine;
+* a runtime rung failure degrades to float32 **exactly** (the automatic
+  fallback), latching ``quant_fallbacks``;
+* ``quant_mode="auto"`` measures per-shape decisions once and persists the
+  plan through :mod:`repro.store` -- a second engine startup loads it as a
+  cache hit without re-measuring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, ScoringEngine
+from repro.engine.autotune import (
+    CANDIDATES,
+    FLOAT32_DECISION,
+    KernelAutotuner,
+    shape_key,
+)
+from repro.engine.batching import split_batch
+from repro.engine.quant import QUANT_PREFIX, QuantizedScorer, has_quant_views
+from repro.engine.stats import EngineStats
+from repro.eval.quant import activate_channel_path
+from repro.featurizers.bert import MatchingClassifier, score_encoded_batch
+from repro.lm.bert import MiniBert
+from repro.lm.config import BertConfig
+from repro.lm.tokenizer import EncodedPair, stack_encoded
+
+CONFIG = BertConfig(
+    vocab_size=60,
+    hidden_size=32,
+    num_layers=1,
+    num_heads=2,
+    intermediate_size=64,
+    max_position=64,
+)
+SPECIAL_IDS = [0, 1, 2, 3]
+
+
+def make_stack(seed: int = 0):
+    model = MiniBert(CONFIG, seed=seed)
+    model.eval()
+    classifier = MatchingClassifier(32, 16, np.random.default_rng(seed + 1))
+    # Give the channel path real weight so scores depend on the encoder
+    # (the zero-initialised classifier would make int8-vs-float32 vacuous).
+    activate_channel_path(classifier, seed=seed + 2)
+    classifier.eval()
+    return model, classifier
+
+
+def make_pairs(
+    count: int = 40, seed: int = 3, padded_length: int = 32
+) -> list[EncodedPair]:
+    """Pairs padded to a common length, real lengths varying via the mask."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        length = int(rng.integers(6, 28))
+        ids = np.zeros(padded_length, dtype=np.int64)
+        ids[:length] = rng.integers(5, CONFIG.vocab_size, size=length)
+        ids[0] = 1
+        segments = np.zeros(padded_length, dtype=np.int64)
+        segments[length // 2 : length] = 1
+        mask = np.zeros(padded_length, dtype=np.int64)
+        mask[:length] = 1
+        pairs.append(
+            EncodedPair(input_ids=ids, segment_ids=segments, attention_mask=mask)
+        )
+    return pairs
+
+
+def quant_config(**overrides) -> EngineConfig:
+    base = dict(
+        n_workers=0,
+        persist_scores=False,
+        microbatch_size=16,
+        bucket_granularity=8,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+@pytest.fixture
+def store_root(tmp_path, monkeypatch):
+    """Isolate every persisted artifact (scores, autotune plans) per test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestSplitBatch:
+    def batch(self, rows: int = 7, length: int = 10) -> EncodedPair:
+        rng = np.random.default_rng(rows)
+        return EncodedPair(
+            input_ids=rng.integers(5, 50, size=(rows, length)).astype(np.int64),
+            segment_ids=np.zeros((rows, length), dtype=np.int64),
+            attention_mask=np.ones((rows, length), dtype=np.int64),
+        )
+
+    def test_single_part_is_identity(self):
+        batch = self.batch()
+        assert split_batch(batch, 1) == [batch]
+
+    def test_rows_partition_in_order(self):
+        batch = self.batch(rows=7)
+        chunks = split_batch(batch, 2)
+        assert len(chunks) == 2
+        np.testing.assert_array_equal(
+            np.concatenate([chunk.input_ids for chunk in chunks]), batch.input_ids
+        )
+
+    def test_parts_clamped_to_row_count(self):
+        batch = self.batch(rows=3)
+        chunks = split_batch(batch, 10)
+        assert len(chunks) == 3
+        assert all(chunk.input_ids.shape[0] == 1 for chunk in chunks)
+
+
+class TestQuantizedScorer:
+    def test_scores_close_to_float_reference(self):
+        model, classifier = make_stack()
+        scorer = QuantizedScorer(model, classifier, SPECIAL_IDS)
+        batch = stack_encoded(make_pairs(12))
+        reference = score_encoded_batch(model, classifier, SPECIAL_IDS, batch)
+        for packing in ("fold", "accum"):
+            for split in (1, 2):
+                scores = scorer.score(batch, packing=packing, split=split)
+                assert scores.shape == reference.shape
+                assert np.abs(scores - reference).max() < 0.05
+
+    def test_quant_tensors_all_prefixed(self):
+        model, classifier = make_stack()
+        scorer = QuantizedScorer(model, classifier, SPECIAL_IDS)
+        tensors = scorer.quant_tensors()
+        assert tensors, "publish payload must not be empty"
+        assert all(name.startswith(QUANT_PREFIX) for name, _ in tensors)
+        assert has_quant_views(dict(tensors))
+        assert not has_quant_views({"model.token_embedding.table": None})
+
+    def test_rebind_views_requires_quant_payload(self):
+        model, classifier = make_stack()
+        scorer = QuantizedScorer(model, classifier, SPECIAL_IDS)
+        with pytest.raises(KeyError):
+            scorer.rebind_views({"model.token_embedding.table": np.zeros(1)})
+
+    def test_rebind_views_preserves_scores(self):
+        model, classifier = make_stack()
+        scorer = QuantizedScorer(model, classifier, SPECIAL_IDS)
+        batch = stack_encoded(make_pairs(8))
+        before = scorer.score(batch)
+        published = {name: array.copy() for name, array in scorer.quant_tensors()}
+        scorer.rebind_views(published)
+        np.testing.assert_allclose(scorer.score(batch), before, atol=1e-7)
+
+
+class TestEngineConfigValidation:
+    def test_unknown_quant_mode_rejected(self):
+        with pytest.raises(ValueError, match="quant_mode"):
+            EngineConfig(quant_mode="turbo")
+
+    def test_non_positive_atol_rejected(self):
+        with pytest.raises(ValueError, match="quant_score_atol"):
+            EngineConfig(quant_score_atol=0.0)
+
+    def test_autotune_repeats_floor(self):
+        with pytest.raises(ValueError, match="autotune_repeats"):
+            EngineConfig(autotune_repeats=0)
+
+
+class TestEngineQuantOn:
+    def test_int8_rung_scores_whole_workload(self, store_root):
+        model, classifier = make_stack()
+        pairs = make_pairs(40)
+        exact = ScoringEngine(model, classifier, SPECIAL_IDS, quant_config())
+        quant = ScoringEngine(
+            model, classifier, SPECIAL_IDS, quant_config(quant_mode="on")
+        )
+        try:
+            reference = exact.score_encoded(pairs)
+            scores = quant.score_encoded(pairs)
+            assert quant.stats.quant_batches > 0
+            assert quant.stats.quant_fallbacks == 0
+            assert np.abs(scores - reference).max() < 0.05
+        finally:
+            exact.close()
+            quant.close()
+
+    def test_serving_info_reports_quant_state(self, store_root):
+        model, classifier = make_stack()
+        engine = ScoringEngine(
+            model, classifier, SPECIAL_IDS, quant_config(quant_mode="on")
+        )
+        try:
+            info = engine.serving_info()
+            assert info["serving.quant_mode"] == "on"
+            assert info["serving.autotune_shapes"] == 0
+        finally:
+            engine.close()
+
+    def test_invalidate_model_rebuilds_quant_images(self, store_root):
+        model, classifier = make_stack()
+        pairs = make_pairs(16)
+        engine = ScoringEngine(
+            model, classifier, SPECIAL_IDS, quant_config(quant_mode="on")
+        )
+        try:
+            before = engine.score_encoded(pairs)
+            # Mutate float weights in place -- invisible to stale int8 images
+            # unless invalidate_model() forces a re-quantization.
+            table = model.parameters()["token_embedding.table"].value
+            table += np.float32(0.05)
+            engine.invalidate_model()
+            after = engine.score_encoded(pairs)
+            # The rebuilt images track the new weights: scores move, and
+            # they still agree with the exact path on the mutated model.
+            assert np.abs(after - before).max() > 1e-4
+            reference = score_encoded_batch(
+                model, classifier, SPECIAL_IDS, stack_encoded(pairs)
+            )
+            assert np.abs(after - reference).max() < 0.05
+        finally:
+            engine.close()
+
+
+class TestEngineQuantFallback:
+    def test_rung_failure_degrades_to_exact_float32(self, store_root, monkeypatch):
+        model, classifier = make_stack()
+        pairs = make_pairs(24)
+        exact = ScoringEngine(model, classifier, SPECIAL_IDS, quant_config())
+        broken = ScoringEngine(
+            model, classifier, SPECIAL_IDS, quant_config(quant_mode="on")
+        )
+
+        def explode(self, batch, packing="fold", split=1):
+            raise RuntimeError("int8 kernel unavailable")
+
+        monkeypatch.setattr(QuantizedScorer, "score", explode)
+        try:
+            reference = exact.score_encoded(pairs)
+            scores = broken.score_encoded(pairs)
+            # The automatic fallback: identical to the float32 engine,
+            # with the failure accounted for in the stats.
+            np.testing.assert_allclose(scores, reference, atol=0, rtol=0)
+            assert broken.stats.quant_fallbacks > 0
+            assert broken.stats.quant_batches == 0
+        finally:
+            exact.close()
+            broken.close()
+
+    def test_fallback_latches_for_the_version(self, store_root, monkeypatch):
+        model, classifier = make_stack()
+        pairs = make_pairs(16)
+        engine = ScoringEngine(
+            model, classifier, SPECIAL_IDS, quant_config(quant_mode="on")
+        )
+        calls = {"count": 0}
+
+        def explode(self, batch, packing="fold", split=1):
+            calls["count"] += 1
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(QuantizedScorer, "score", explode)
+        try:
+            engine.score_encoded(pairs)
+            first = calls["count"]
+            engine.clear_cached_scores()
+            engine.score_encoded(pairs)
+            # Broken is latched: no further int8 attempts this version.
+            assert calls["count"] == first
+        finally:
+            engine.close()
+
+
+class TestAutotunePersistence:
+    def test_auto_mode_measures_then_second_startup_cache_hits(self, store_root):
+        model, classifier = make_stack()
+        pairs = make_pairs(40)
+
+        first = ScoringEngine(
+            model, classifier, SPECIAL_IDS,
+            quant_config(quant_mode="auto", autotune_repeats=1),
+            cache_token="autotune-test",
+        )
+        try:
+            scores_first = first.score_encoded(pairs)
+            assert first.stats.autotune_shapes > 0
+            assert first.stats.autotune_runs > 0
+            assert first.stats.autotune_cache_hits == 0
+            plan_first = dict(first._autotuner.plan)
+        finally:
+            first.close()
+
+        second = ScoringEngine(
+            model, classifier, SPECIAL_IDS,
+            quant_config(quant_mode="auto", autotune_repeats=1),
+            cache_token="autotune-test",
+        )
+        try:
+            scores_second = second.score_encoded(pairs)
+            # Second startup: the persisted plan covers every shape, so the
+            # load is a cache hit and nothing is re-measured.
+            assert second.stats.autotune_cache_hits == 1
+            assert second.stats.autotune_runs == 0
+            assert second._autotuner.loaded_from_cache
+            assert dict(second._autotuner.plan) == plan_first
+            np.testing.assert_allclose(scores_second, scores_first, atol=1e-7)
+        finally:
+            second.close()
+
+    def test_auto_mode_scores_stay_within_rung_tolerance(self, store_root):
+        model, classifier = make_stack()
+        pairs = make_pairs(32)
+        exact = ScoringEngine(model, classifier, SPECIAL_IDS, quant_config())
+        auto = ScoringEngine(
+            model, classifier, SPECIAL_IDS,
+            quant_config(quant_mode="auto", autotune_repeats=1),
+        )
+        try:
+            reference = exact.score_encoded(pairs)
+            scores = auto.score_encoded(pairs)
+            assert np.abs(scores - reference).max() <= auto.config.quant_score_atol
+            assert auto.stats.quant_fallbacks == 0
+        finally:
+            exact.close()
+            auto.close()
+
+    def test_distinct_cache_tokens_do_not_share_plans(self, store_root):
+        model, classifier = make_stack()
+        tuner_a = KernelAutotuner(
+            model_config=CONFIG.to_dict(), vocab_size=CONFIG.vocab_size,
+            cache_token="a",
+        )
+        tuner_b = KernelAutotuner(
+            model_config=CONFIG.to_dict(), vocab_size=CONFIG.vocab_size,
+            cache_token="b",
+        )
+        tuner_a.plan[shape_key(16, 8)] = {
+            "rung": "int8", "packing": "fold", "split": 1,
+            "speedup": 2.0, "max_deviation": 0.001,
+        }
+        tuner_a.save()
+        assert not tuner_b.load()
+        assert tuner_b.plan == {}
+
+
+class TestStatsCounters:
+    def test_fresh_stats_render_all_quant_counters_as_zero(self):
+        rendered = EngineStats().as_dict()
+        for counter in (
+            "quant_batches",
+            "quant_fallbacks",
+            "autotune_runs",
+            "autotune_shapes",
+            "autotune_cache_hits",
+        ):
+            assert rendered[counter] == 0
+
+
+@pytest.mark.slow
+class TestAutotuneSweep:
+    """Exhaustive candidate sweep: every strategy measured on every shape."""
+
+    def test_measure_shape_covers_all_candidates(self, store_root):
+        model, classifier = make_stack()
+        scorer = QuantizedScorer(model, classifier, SPECIAL_IDS)
+        tuner = KernelAutotuner(
+            model_config=CONFIG.to_dict(),
+            vocab_size=CONFIG.vocab_size,
+            repeats=1,
+            cache_token="sweep",
+        )
+        attempted: set[tuple[str, int]] = set()
+
+        def quant_score(batch, packing, split):
+            attempted.add((packing, split))
+            return scorer.score(batch, packing=packing, split=split)
+
+        def float_score(batch):
+            return score_encoded_batch(model, classifier, SPECIAL_IDS, batch)
+
+        shapes = [(16, 8), (32, 16), (48, 4)]
+        for padded, rows in shapes:
+            entry = tuner.measure_shape(padded, rows, float_score, quant_score)
+            assert entry["rung"] in ("float32", "int8")
+            assert entry["split"] <= rows
+            assert entry["max_deviation"] <= tuner.score_atol
+        expected = {
+            (packing, split)
+            for rung, packing, split in CANDIDATES
+            if rung != "float32"
+        }
+        assert attempted == expected
+
+        # The full plan persists and seeds a fresh autotuner verbatim.
+        tuner.save()
+        fresh = KernelAutotuner(
+            model_config=CONFIG.to_dict(),
+            vocab_size=CONFIG.vocab_size,
+            repeats=1,
+            cache_token="sweep",
+        )
+        assert fresh.load()
+        assert fresh.plan == tuner.plan
+        for padded, rows in shapes:
+            assert fresh.decision_for(padded, rows) is not None
+
+    def test_unmeasured_shape_falls_back_to_float32_decision(self, store_root):
+        tuner = KernelAutotuner(
+            model_config=CONFIG.to_dict(), vocab_size=CONFIG.vocab_size,
+        )
+        assert tuner.decision_for(999, 1) is None
+        assert FLOAT32_DECISION == ("float32", None, 1)

@@ -1,0 +1,113 @@
+"""Ranking-space parity gate for the int8 rung, plus the AUC primitive.
+
+The gate's contract (and this PR's acceptance bar): on every public gate
+dataset, a classifier fitted on float32 features must rank **identically at
+top-1** under int8 scoring, with AUC within ``PARITY_AUC_EPSILON``.
+``roc_auc`` itself is unit-tested first -- the gate is only as trustworthy
+as its metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.metrics import roc_auc
+from repro.eval.quant import (
+    PARITY_AUC_EPSILON,
+    QuantParityReport,
+    quant_parity_report,
+)
+from repro.eval.retrieval import GATE_DATASETS
+
+
+class TestRocAuc:
+    def test_perfect_ranking_is_one(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking_is_zero(self):
+        assert roc_auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_interleaved_ranking(self):
+        # Positives at 0.2 and 0.4 beat 3 of the 4 (positive, negative) pairs.
+        assert roc_auc([0, 1, 0, 1], [0.1, 0.2, 0.3, 0.4]) == pytest.approx(0.75)
+
+    def test_ties_use_midranks(self):
+        # One positive tied with one negative: that pair contributes 1/2.
+        assert roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+        assert roc_auc([0, 0, 1], [0.1, 0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_all_tied_scores_are_half(self):
+        assert roc_auc([0, 1, 0, 1], [0.7, 0.7, 0.7, 0.7]) == pytest.approx(0.5)
+
+    def test_degenerate_single_class_returns_half(self):
+        assert roc_auc([1, 1, 1], [0.1, 0.2, 0.3]) == 0.5
+        assert roc_auc([0, 0], [0.5, 0.9]) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([0, 1], [0.5])
+
+    def test_matches_naive_pairwise_definition(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(60) > 0.6).astype(np.float64)
+        scores = np.round(rng.random(60), 1)  # coarse grid forces ties
+        positive = scores[labels > 0.5]
+        negative = scores[labels <= 0.5]
+        wins = (positive[:, None] > negative[None, :]).sum()
+        ties = (positive[:, None] == negative[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (positive.size * negative.size)
+        assert roc_auc(labels, scores) == pytest.approx(expected)
+
+
+class TestReportArithmetic:
+    def make_report(self, **overrides) -> QuantParityReport:
+        base = dict(
+            dataset="demo",
+            packing="fold",
+            pairs=100,
+            sources=10,
+            top1_agreement=1.0,
+            auc_float32=0.95,
+            auc_int8=0.9502,
+            max_score_deviation=0.004,
+            auc_epsilon=PARITY_AUC_EPSILON,
+        )
+        base.update(overrides)
+        return QuantParityReport(**base)
+
+    def test_passes_within_epsilon(self):
+        report = self.make_report()
+        assert report.auc_delta == pytest.approx(2e-4)
+        assert report.passed
+
+    def test_fails_on_top1_disagreement(self):
+        assert not self.make_report(top1_agreement=0.99).passed
+
+    def test_fails_on_auc_drift(self):
+        assert not self.make_report(auc_int8=0.95 + 2e-3).passed
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        payload = self.make_report().as_dict()
+        assert payload["dataset"] == "demo"
+        assert payload["passed"] is True
+        json.dumps(payload)
+
+
+@pytest.mark.parametrize("dataset", GATE_DATASETS)
+class TestParityGate:
+    """The merge gate proper: one parametrized case per public dataset."""
+
+    def test_int8_ranking_parity(self, dataset):
+        report = quant_parity_report(load_dataset(dataset))
+        assert report.top1_agreement == 1.0, report.as_dict()
+        assert report.auc_delta <= PARITY_AUC_EPSILON, report.as_dict()
+        assert report.passed
+        # The gate must not be vacuous: scores genuinely differ between
+        # rungs (so agreement is earned), and the task has real positives.
+        assert report.max_score_deviation > 0.0
+        assert 0.0 < report.auc_float32 <= 1.0
+        assert report.pairs == report.sources * (report.pairs // report.sources)

@@ -1,0 +1,93 @@
+"""QuantizedMiniBert: the int8 encoder mirrors the float32 eval forward."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lm.bert import MiniBert, QuantizedMiniBert
+from repro.lm.config import BertConfig
+from repro.lm.tokenizer import EncodedPair
+
+CONFIG = BertConfig(
+    vocab_size=80,
+    hidden_size=32,
+    num_layers=2,
+    num_heads=2,
+    intermediate_size=64,
+    max_position=32,
+)
+
+
+def make_batch(rows: int = 6, length: int = 14, seed: int = 7) -> EncodedPair:
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(5, 80, size=(rows, length)).astype(np.int64)
+    ids[:, 0] = 1
+    segments = np.zeros((rows, length), dtype=np.int64)
+    segments[:, length // 2 :] = 1
+    mask = np.ones((rows, length), dtype=np.int64)
+    mask[0, -3:] = 0  # one row with padding, so masking is exercised
+    return EncodedPair(input_ids=ids, segment_ids=segments, attention_mask=mask)
+
+
+@pytest.fixture(scope="module")
+def float_model():
+    model = MiniBert(CONFIG, seed=1)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def quant_model(float_model):
+    return QuantizedMiniBert(float_model)
+
+
+class TestQuantizedMiniBert:
+    def test_hidden_states_close_to_float(self, float_model, quant_model):
+        batch = make_batch()
+        hidden_f, pooled_f = float_model.forward(batch)
+        hidden_q, pooled_q = quant_model.forward(batch)
+        assert hidden_q.shape == hidden_f.shape
+        assert hidden_q.dtype == np.float32
+        # Hidden states are LayerNormed to unit scale; int8 weights plus
+        # LUT nonlinearities land within a few percent.
+        assert np.abs(hidden_q - hidden_f).max() < 0.25
+        assert np.abs(pooled_q - pooled_f).max() < 0.25
+
+    @pytest.mark.parametrize("packing", ["fold", "accum"])
+    def test_packings_agree(self, float_model, quant_model, packing):
+        batch = make_batch()
+        quant_model.packing = packing
+        hidden, pooled = quant_model.forward(batch)
+        quant_model.packing = "fold"
+        assert np.isfinite(hidden).all() and np.isfinite(pooled).all()
+
+    def test_embeddings_are_shared_not_copied(self, float_model, quant_model):
+        # Embeddings/norms stay float and are referenced live: an in-place
+        # embedding update is visible without rebuilding the quant wrapper.
+        assert (
+            quant_model.token_embedding.table.value
+            is float_model.token_embedding.table.value
+        )
+
+    def test_quant_parameters_exclude_float_weights(self, float_model, quant_model):
+        from repro.nn.serialize import flat_tensors
+
+        names = [name for name, _ in flat_tensors(quant_model)]
+        # Only quant artifacts register as parameters (the publish payload);
+        # no float attention/FFN weights are duplicated.
+        assert names, "quant wrapper must expose parameters"
+        assert all(
+            name.rsplit(".", 1)[-1] in {"weight_q", "scale", "bias"}
+            for name in names
+        ), names
+
+    def test_ranking_is_preserved_on_random_batch(self, float_model, quant_model):
+        batch = make_batch(rows=12, seed=11)
+        _, pooled_f = float_model.forward(batch)
+        _, pooled_q = quant_model.forward(batch)
+        # Pooled outputs should correlate strongly even at int8 resolution.
+        flat_f = pooled_f.ravel()
+        flat_q = pooled_q.ravel()
+        correlation = np.corrcoef(flat_f, flat_q)[0, 1]
+        assert correlation > 0.99

@@ -1,0 +1,173 @@
+"""Unit tests for the int8 inference rung's kernels (nn layer level).
+
+Covers per-channel weight quantization, both GEMM packings of
+:class:`QuantizedLinear`, the image-cache invalidation that hot-swap
+relies on, the LUT nonlinearities and ``layernorm_fast``.  Accuracy
+bounds here are kernel-level; end-to-end acceptability is governed by the
+ranking-space parity gate (``tests/eval/test_quant_gate.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import gelu, gelu_lut, masked_softmax_lut, softmax
+from repro.nn.layers import (
+    Linear,
+    QUANT_LEVELS,
+    QuantizedLinear,
+    LayerNorm,
+    layernorm_fast,
+    quantize_weight_per_channel,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestQuantizeWeightPerChannel:
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        weight = rng.standard_normal((48, 24)).astype(np.float32)
+        weight_q, scale = quantize_weight_per_channel(weight)
+        assert weight_q.dtype == np.int8
+        assert scale.shape == (24,)
+        reconstructed = weight_q.astype(np.float32) * scale[None, :]
+        # Symmetric rounding: error per element is at most scale/2.
+        assert (np.abs(reconstructed - weight) <= scale[None, :] / 2 + 1e-7).all()
+
+    def test_per_channel_scales_are_independent(self, rng):
+        weight = rng.standard_normal((16, 2)).astype(np.float32)
+        weight[:, 1] *= 100.0
+        _, scale = quantize_weight_per_channel(weight)
+        assert scale[1] > scale[0] * 50
+        expected = np.abs(weight).max(axis=0) / QUANT_LEVELS
+        np.testing.assert_allclose(scale, expected, rtol=1e-6)
+
+    def test_zero_column_does_not_divide_by_zero(self):
+        weight = np.zeros((8, 3), dtype=np.float32)
+        weight[:, 0] = 1.0
+        weight_q, scale = quantize_weight_per_channel(weight)
+        assert np.isfinite(scale).all() and (scale > 0).all()
+        assert (weight_q[:, 1:] == 0).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_weight_per_channel(np.zeros(4, dtype=np.float32))
+
+
+class TestQuantizedLinear:
+    def make_pair(self, rng, fan_in=32, fan_out=16):
+        linear = Linear(fan_in, fan_out, rng)
+        return linear, QuantizedLinear.from_linear(linear)
+
+    @pytest.mark.parametrize("packing", ["fold", "accum"])
+    def test_matches_float_linear_closely(self, rng, packing):
+        linear, quantized = self.make_pair(rng)
+        x = rng.standard_normal((8, 32)).astype(np.float32)
+        expected = linear.forward(x)
+        actual = quantized.forward(x, packing=packing)
+        assert actual.dtype == np.float32
+        # int8 weights + int8 activations: ~1% relative scale of the output.
+        assert np.abs(actual - expected).max() < 0.05 * np.abs(expected).max() + 0.02
+
+    def test_fold_and_accum_agree(self, rng):
+        _, quantized = self.make_pair(rng)
+        x = rng.standard_normal((4, 32)).astype(np.float32)
+        fold = quantized.forward(x, packing="fold")
+        accum = quantized.forward(x, packing="accum")
+        # Same integer products, different accumulation order: tiny drift.
+        np.testing.assert_allclose(fold, accum, atol=1e-4)
+
+    def test_three_dimensional_input(self, rng):
+        linear, quantized = self.make_pair(rng)
+        x = rng.standard_normal((2, 5, 32)).astype(np.float32)
+        out = quantized.forward(x)
+        assert out.shape == (2, 5, 16)
+        np.testing.assert_allclose(
+            out, quantized.forward(x.reshape(-1, 32)).reshape(2, 5, 16)
+        )
+
+    def test_unknown_packing_rejected(self, rng):
+        _, quantized = self.make_pair(rng)
+        with pytest.raises(ValueError):
+            quantized.forward(np.zeros((1, 32), dtype=np.float32), packing="turbo")
+
+    def test_backward_refused(self, rng):
+        _, quantized = self.make_pair(rng)
+        with pytest.raises(RuntimeError):
+            quantized.backward(np.zeros((1, 16), dtype=np.float32))
+
+    def test_parameters_are_the_quant_artifacts(self, rng):
+        _, quantized = self.make_pair(rng)
+        parameters = quantized.parameters()
+        assert set(parameters) == {"weight_q", "scale", "bias"}
+        assert parameters["weight_q"].value.dtype == np.int8
+        assert parameters["scale"].value.dtype == np.float32
+
+    def test_bias_shares_storage_with_float_linear(self, rng):
+        linear, quantized = self.make_pair(rng)
+        # np.asarray on a same-dtype array copies nothing: in-place float
+        # bias updates (load_state_dict) stay visible to the quant rung.
+        assert np.shares_memory(quantized.bias.value, linear.bias.value)
+
+    def test_image_cache_invalidated_on_rebind(self, rng):
+        _, quantized = self.make_pair(rng)
+        x = rng.standard_normal((3, 32)).astype(np.float32)
+        before = quantized.forward(x)
+        # Rebinding weight_q (what bind_state_views does on hot-swap) must
+        # drop the cached float image, not serve stale weights.
+        quantized.weight_q.value = np.negative(quantized.weight_q.value)
+        after = quantized.forward(x)
+        assert np.abs(after - before).max() > 1e-3
+
+
+class TestLayernormFast:
+    def test_matches_training_layernorm(self, rng):
+        layer = LayerNorm(32)
+        layer.gamma.value[:] = rng.standard_normal(32).astype(np.float32)
+        layer.beta.value[:] = rng.standard_normal(32).astype(np.float32)
+        x = rng.standard_normal((4, 7, 32)).astype(np.float32)
+        expected = layer.forward(x)
+        actual = layernorm_fast(x, layer.gamma.value, layer.beta.value)
+        np.testing.assert_allclose(actual, expected, atol=1e-5)
+        assert actual.dtype == np.float32
+
+
+class TestLutActivations:
+    def test_gelu_lut_error_bounded(self, rng):
+        x = (rng.standard_normal((64, 64)) * 3).astype(np.float32)
+        exact = gelu(x)[0]
+        approx = gelu_lut(x)
+        # Error bound: max|gelu'| ~ 1.1, step = max|x|/127.
+        step = np.abs(x).max() / 127.0
+        assert np.abs(approx - exact).max() <= 1.1 * step
+
+    def test_gelu_lut_zero_input_is_exact(self):
+        x = np.zeros((3, 4), dtype=np.float32)
+        np.testing.assert_array_equal(gelu_lut(x), np.zeros((3, 4), dtype=np.float32))
+
+    def test_gelu_lut_nonfinite_falls_back_to_exact(self):
+        x = np.array([[np.inf, 0.0, -1.0]], dtype=np.float32)
+        out = gelu_lut(x)
+        np.testing.assert_allclose(out, gelu(x)[0])
+
+    def test_masked_softmax_lut_masks_and_normalises(self, rng):
+        scores = (rng.standard_normal((2, 2, 4, 4)) * 4).astype(np.float32)
+        key_mask = np.ones((2, 1, 1, 4), dtype=np.float32)
+        key_mask[0, ..., 2:] = 0.0
+        probs = masked_softmax_lut(scores, key_mask)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+        assert (probs[0, ..., 2:] == 0.0).all()
+
+    def test_masked_softmax_lut_close_to_float_softmax(self, rng):
+        scores = (rng.standard_normal((2, 2, 6, 6)) * 3).astype(np.float32)
+        mask = np.ones((2, 6), dtype=np.float32)
+        mask[1, 4:] = 0.0
+        # Float reference: the attention path's additive-bias masking.
+        key_bias = (1.0 - mask[:, None, None, :]) * -1e9
+        exact = softmax(scores + key_bias, axis=-1)
+        approx = masked_softmax_lut(scores, mask[:, None, None, :])
+        assert np.abs(approx - exact).max() < 0.01

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity test-serve-slow test-autotune-slow quant-gate bench-engine bench-engine-quant bench-train bench-serving bench-serve bench-retrieval trace-smoke
+.PHONY: verify test parity test-serve-slow test-autotune-slow quant-gate bench-engine bench-engine-quant bench-train bench-serving bench-serve bench-retrieval bench-drift trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -58,6 +58,12 @@ bench-serve:
 ## emits BENCH_retrieval.json at the root.
 bench-retrieval:
 	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_retrieval.py
+
+## Schema-drift smoke (tier-2): 3-column delta on the 10x-scaled ISS;
+## gates identical matches vs rebuild, >= 5x fewer BERT re-scores, and
+## zero re-runs for drop-only deltas; emits BENCH_drift.json at the root.
+bench-drift:
+	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_drift.py
 
 ## Observability smoke (tier-2): traced session on customer A, NDJSON
 ## well-formedness + iteration parity + `repro trace summarize` rendering.

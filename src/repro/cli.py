@@ -38,6 +38,13 @@ Commands
     fused recall@k plus the minimal lossless k on one dataset; ``gate``
     runs the recall@k gate over every public ground-truth dataset and exits
     non-zero if any true match would be pruned.
+``drift replay [--dataset D] [--deltas N] [--ops M] [--seed X] [--fast]``
+    Generate a deterministic schema-drift sequence (add/rename/retype/drop
+    columns) against the dataset's source schema and replay it through the
+    incremental re-matching path, printing per-delta accounting: pairs
+    dropped/added, candidate-set regenerations, and BERT pairs re-scored
+    vs. served from the fingerprint score cache.  ``--trace`` streams the
+    drift spans (``lsm.drift``, ``drift.rescore``) as NDJSON.
 ``trace summarize TRACE``
     Render an NDJSON trace (``repro session --trace`` or
     ``LsmConfig.trace_path``): the per-iteration session table, per-stage
@@ -489,6 +496,58 @@ def _cmd_retrieval(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_drift(args: argparse.Namespace) -> None:
+    from .core.artifacts import ArtifactConfig
+    from .core.config import LsmConfig
+    from .datasets.drift import DriftConfig
+    from .eval.drift import REPLAY_COLUMNS, run_drift_replay
+
+    task = load_dataset(args.dataset)
+    artifact_config = None
+    if args.fast:
+        artifact_config = ArtifactConfig(
+            vocab_size=400,
+            hidden_size=32,
+            num_layers=1,
+            num_heads=2,
+            intermediate_size=64,
+            max_position=32,
+            mlm_epochs=1,
+        )
+    lsm_config = LsmConfig(
+        max_candidates_per_source=args.k,
+        update_bert_every=10**9,  # isolate incremental re-scoring from retraining
+        trace_path=args.trace,
+    )
+    drift_config = DriftConfig(
+        num_deltas=args.deltas, ops_per_delta=args.ops, seed=args.seed
+    )
+    result = run_drift_replay(
+        task,
+        drift_config=drift_config,
+        lsm_config=lsm_config,
+        artifact_config=artifact_config,
+    )
+    for record in result.records:
+        print(f"delta {record.step}: {record.delta}")
+    print(render_table(
+        REPLAY_COLUMNS,
+        [record.as_row() for record in result.records],
+        title=(
+            f"Drift replay on {args.dataset} "
+            f"({args.deltas} deltas x {args.ops} ops, seed {args.seed})"
+        ),
+    ))
+    total = result.total_rescored + result.total_reused
+    if total:
+        print(
+            f"Incremental re-matching reused {result.total_reused}/{total} "
+            f"BERT pair scorings ({100.0 * result.reuse_fraction():.0f}%)."
+        )
+    if args.trace:
+        print(f"Trace written to {args.trace}.")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Learned Schema Matcher reproduction CLI"
@@ -574,6 +633,26 @@ def build_parser() -> argparse.ArgumentParser:
     retrieval.add_argument("--dataset", choices=ALL_NAMES, default="rdb_star")
     retrieval.add_argument("--k", type=int, default=20)
     retrieval.set_defaults(func=_cmd_retrieval)
+
+    drift = subparsers.add_parser(
+        "drift", help="schema-drift replay through the incremental matcher"
+    )
+    drift.add_argument("action", choices=["replay"])
+    drift.add_argument("--dataset", choices=ALL_NAMES, default="customer_a")
+    drift.add_argument("--deltas", type=int, default=3)
+    drift.add_argument("--ops", type=int, default=2)
+    drift.add_argument("--seed", type=int, default=0)
+    drift.add_argument("--k", type=int, default=20, help="candidates per source")
+    drift.add_argument(
+        "--fast", action="store_true", help="tiny artefacts for a quick smoke run"
+    )
+    drift.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="stream an NDJSON trace of the replay to this file",
+    )
+    drift.set_defaults(func=_cmd_drift)
 
     trace = subparsers.add_parser("trace", help="render an NDJSON pipeline trace")
     trace.add_argument("action", choices=["summarize"])

@@ -1,8 +1,9 @@
 """LSM core: candidates, meta-learner, scoring, selection, matcher, session."""
 
 from .artifacts import ArtifactConfig, DomainArtifacts, build_artifacts, phrase_matrix
-from .candidates import NEGATIVE, POSITIVE, UNLABELED, CandidateStore
+from .candidates import NEGATIVE, POSITIVE, UNLABELED, CandidateStore, StoreDeltaReport
 from .config import LsmConfig
+from .drift import DriftReport, DriftStats
 from .matcher import LearnedSchemaMatcher, Predictions
 from .meta import (
     LogisticModel,
@@ -29,6 +30,9 @@ __all__ = [
     "ArtifactConfig",
     "CandidateStore",
     "DomainArtifacts",
+    "DriftReport",
+    "DriftStats",
+    "StoreDeltaReport",
     "GroundTruthOracle",
     "IterationRecord",
     "LearnedSchemaMatcher",

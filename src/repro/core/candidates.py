@@ -22,16 +22,46 @@ every pruning operation:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..featurizers.base import AttributePairView, make_pair_view
+from ..schema.drift import DeltaEffect
 from ..schema.model import AttributeRef, Schema
 
 UNLABELED = -1
 NEGATIVE = 0
 POSITIVE = 1
+
+
+@dataclass
+class StoreDeltaReport:
+    """What :meth:`CandidateStore.apply_delta` did, in new-layout indices."""
+
+    #: Source indices (post-delta layout) of columns added by the delta.
+    added_sources: list[int] = field(default_factory=list)
+    #: Source indices (post-delta layout) of renamed columns.
+    renamed_sources: list[int] = field(default_factory=list)
+    #: Source indices (post-delta layout) of retyped columns.
+    retyped_sources: list[int] = field(default_factory=list)
+    #: Refs of dropped columns (they have no post-delta index).
+    dropped_sources: list[AttributeRef] = field(default_factory=list)
+    pairs_dropped: int = 0
+    pairs_added: int = 0
+    views_invalidated: int = 0
+    #: Labels that survived the delta / were lost with dropped columns.
+    labels_preserved: int = 0
+    labels_dropped: int = 0
+
+    def affected_sources(self) -> list[int]:
+        """Post-delta indices whose candidate sets need regeneration."""
+        return sorted(
+            set(self.added_sources)
+            | set(self.renamed_sources)
+            | set(self.retyped_sources)
+        )
 
 
 class CandidateStore:
@@ -117,6 +147,27 @@ class CandidateStore:
     def views(self, pair_ids: Iterable[int]) -> list[AttributePairView]:
         return [self.view(int(pair_id)) for pair_id in pair_ids]
 
+    def invalidate_views(self, pair_ids: Iterable[int]) -> int:
+        """Drop the cached views of ``pair_ids`` so they rebuild lazily.
+
+        The view cache has no implicit invalidation: a pair's view embeds the
+        attribute's name and description at build time, so any metadata
+        mutation (a renamed or re-described column) must explicitly drop the
+        affected entries or the pair keeps scoring its stale encoding.
+        :meth:`apply_delta` routes through here; so must any future mutator.
+        Returns the number of entries actually dropped.
+        """
+        dropped = 0
+        for pair_id in pair_ids:
+            if self._views[int(pair_id)] is not None:
+                self._views[int(pair_id)] = None
+                dropped += 1
+        return dropped
+
+    def invalidate_views_of_source(self, source_index: int) -> int:
+        """Drop the cached views of every pair of one source attribute."""
+        return self.invalidate_views(self.pairs_of_source_index(source_index))
+
     def _source_groups(self) -> list[np.ndarray]:
         """Per-source pair-id lists, built once per pair-array shape.
 
@@ -188,21 +239,41 @@ class CandidateStore:
         # Batch-append allowed pairs that are not currently present.
         allowed[self.pair_source, self.pair_target] = False
         missing_sources, missing_targets = np.nonzero(allowed)
-        added = int(missing_sources.size)
-        if added:
-            start = self.num_pairs
-            self.pair_source = np.concatenate([self.pair_source, missing_sources])
-            self.pair_target = np.concatenate([self.pair_target, missing_targets])
-            self.labels = np.concatenate(
-                [self.labels, np.full(added, UNLABELED, dtype=np.int8)]
-            )
-            self.label_explicit = np.concatenate(
-                [self.label_explicit, np.zeros(added, dtype=bool)]
-            )
-            self._views.extend([None] * added)
-            for offset, (s, t) in enumerate(zip(missing_sources, missing_targets)):
-                self._pair_index[(int(s), int(t))] = start + offset
-            self._groups = None
+        added = self._append_pairs(missing_sources, missing_targets)
+        return added, removed
+
+    def apply_candidate_sets_for_sources(
+        self,
+        source_indices: Sequence[int],
+        per_source_targets: Sequence[np.ndarray],
+    ) -> tuple[int, int]:
+        """Reshape only the listed sources' pair sets; others are untouched.
+
+        The incremental half of :meth:`apply_candidate_sets`: after a schema
+        delta, only the drifted sources' candidate sets change, so only their
+        unlabeled out-of-set pairs are dropped and only their missing in-set
+        pairs are added.  ``per_source_targets[i]`` lists the allowed target
+        indices for ``source_indices[i]``.  Returns ``(added, removed)``.
+        """
+        if len(source_indices) != len(per_source_targets):
+            raise ValueError("candidate sets do not align with the listed sources")
+        allowed = np.zeros((self.num_sources, self.num_targets), dtype=bool)
+        restricted = np.zeros(self.num_sources, dtype=bool)
+        for source_index, targets in zip(source_indices, per_source_targets):
+            restricted[int(source_index)] = True
+            allowed[int(source_index), np.asarray(targets, dtype=np.intp)] = True
+
+        keep_mask = ~restricted[self.pair_source]
+        keep_mask |= allowed[self.pair_source, self.pair_target]
+        keep_mask |= self.labels != UNLABELED
+        removed = int(self.num_pairs - keep_mask.sum())
+        if removed:
+            self._apply_mask(keep_mask)
+
+        allowed[self.pair_source, self.pair_target] = False
+        allowed[~restricted, :] = False
+        missing_sources, missing_targets = np.nonzero(allowed)
+        added = self._append_pairs(missing_sources, missing_targets)
         return added, removed
 
     def _apply_mask(self, keep_mask: np.ndarray) -> None:
@@ -218,6 +289,37 @@ class CandidateStore:
         }
         self._groups = None
 
+    def _append_pairs(self, sources: np.ndarray, targets: np.ndarray) -> int:
+        """Batch-append new unlabeled pairs; the single growth path.
+
+        Every store-growing operation routes through here so growth is one
+        ``np.concatenate`` per array (amortised O(n)), never a per-pair
+        ``np.append`` chain (O(n^2) total), and so the index dtypes survive:
+        ``np.append`` with a Python int promotes ``intp`` arrays on some
+        platforms, silently doubling slice costs downstream.
+        """
+        sources = np.asarray(sources, dtype=np.intp)
+        targets = np.asarray(targets, dtype=np.intp)
+        added = int(sources.size)
+        if not added:
+            return 0
+        start = self.num_pairs
+        self.pair_source = np.concatenate([self.pair_source, sources])
+        self.pair_target = np.concatenate([self.pair_target, targets])
+        self.labels = np.concatenate(
+            [self.labels, np.full(added, UNLABELED, dtype=np.int8)]
+        )
+        self.label_explicit = np.concatenate(
+            [self.label_explicit, np.zeros(added, dtype=bool)]
+        )
+        self._views.extend([None] * added)
+        for offset, (s, t) in enumerate(zip(sources, targets)):
+            self._pair_index[(int(s), int(t))] = start + offset
+        self._groups = None
+        assert self.pair_source.dtype == np.intp and self.pair_target.dtype == np.intp
+        assert self.labels.dtype == np.int8
+        return added
+
     def ensure_pair(self, source: AttributeRef, target: AttributeRef) -> int:
         """Return the pair's flat index, re-adding it if blocking pruned it.
 
@@ -225,20 +327,110 @@ class CandidateStore:
         labeling phase, including one the blocking step dropped; feedback
         must never be lost to pruning.
         """
-        source_index = self._source_index[source]
-        target_index = self._target_index[target]
-        pair_id = self._pair_index.get((source_index, target_index))
-        if pair_id is not None:
-            return pair_id
-        self.pair_source = np.append(self.pair_source, source_index)
-        self.pair_target = np.append(self.pair_target, target_index)
-        self.labels = np.append(self.labels, np.int8(UNLABELED))
-        self.label_explicit = np.append(self.label_explicit, False)
-        self._views.append(None)
-        pair_id = self.num_pairs - 1
-        self._pair_index[(source_index, target_index)] = pair_id
+        return self.ensure_pairs([(source, target)])[0]
+
+    def ensure_pairs(
+        self, pairs: Sequence[tuple[AttributeRef, AttributeRef]]
+    ) -> list[int]:
+        """Batched :meth:`ensure_pair`: one array growth for all new pairs."""
+        keys = [
+            (self._source_index[source], self._target_index[target])
+            for source, target in pairs
+        ]
+        missing = [key for key in dict.fromkeys(keys) if key not in self._pair_index]
+        if missing:
+            self._append_pairs(
+                np.asarray([s for s, _ in missing], dtype=np.intp),
+                np.asarray([t for _, t in missing], dtype=np.intp),
+            )
+        return [self._pair_index[key] for key in keys]
+
+    # -- schema drift ----------------------------------------------------------
+
+    def apply_delta(
+        self,
+        new_source_schema: Schema,
+        effect: DeltaEffect,
+        add_full_product: bool = False,
+    ) -> StoreDeltaReport:
+        """Evolve the store in place to ``new_source_schema`` (source side).
+
+        Touches only what the delta touched: dropped sources take their pairs
+        (and labels) with them, renamed sources keep their pairs and labels
+        but lose their cached views, retyped sources keep everything (dtype
+        lives in the adjuster's mask, not the views' text).  Surviving pair
+        ids are compacted; callers holding pair ids must re-resolve them.
+
+        Added sources get the full target product only when
+        ``add_full_product`` is True; the matcher instead leaves them empty
+        here and regenerates their candidate sets through retrieval
+        (:meth:`apply_candidate_sets_for_sources`).
+        """
+        report = StoreDeltaReport()
+        old_index = self._source_index
+
+        dropped_old = set()
+        for ref in effect.dropped:
+            if ref in old_index:
+                dropped_old.add(old_index[ref])
+                report.dropped_sources.append(ref)
+        if dropped_old:
+            keep_mask = ~np.isin(
+                self.pair_source, np.fromiter(dropped_old, dtype=np.intp)
+            )
+            dropped_pairs = int(self.num_pairs - keep_mask.sum())
+            report.pairs_dropped += dropped_pairs
+            report.labels_dropped = int(
+                ((self.labels != UNLABELED) & ~keep_mask).sum()
+            )
+            self._apply_mask(keep_mask)
+        report.labels_preserved = int((self.labels != UNLABELED).sum())
+
+        # Surviving sources keep their relative order in the new schema, so
+        # the old->new index map is a compaction over the kept old indices.
+        new_refs = new_source_schema.attribute_refs()
+        new_index = {ref: i for i, ref in enumerate(new_refs)}
+        old_to_new = np.full(len(self.source_refs), -1, dtype=np.intp)
+        for old_i, ref in enumerate(self.source_refs):
+            live_ref = effect.renamed.get(ref, ref)
+            if live_ref in new_index:
+                old_to_new[old_i] = new_index[live_ref]
+        assert (old_to_new[self.pair_source] >= 0).all(), "pair of a dropped source survived"
+        self.pair_source = old_to_new[self.pair_source]
+        assert self.pair_source.dtype == np.intp
+
+        self.source_schema = new_source_schema
+        self.source_refs = new_refs
+        self._source_index = new_index
+        self._pair_index = {
+            (int(s), int(t)): i
+            for i, (s, t) in enumerate(zip(self.pair_source, self.pair_target))
+        }
         self._groups = None
-        return pair_id
+
+        for old_ref, new_ref in effect.renamed.items():
+            report.renamed_sources.append(new_index[new_ref])
+        for ref in effect.retyped:
+            # ``ref`` is already the post-delta (possibly renamed) ref.
+            report.retyped_sources.append(new_index[ref])
+        for ref in effect.added:
+            report.added_sources.append(new_index[ref])
+
+        # Renamed columns' views embed the old name -- drop them so they
+        # rebuild against the evolved schema.
+        for source_index in report.renamed_sources:
+            report.views_invalidated += self.invalidate_views_of_source(source_index)
+
+        if add_full_product and report.added_sources:
+            added_sources = np.repeat(
+                np.asarray(report.added_sources, dtype=np.intp), self.num_targets
+            )
+            added_targets = np.tile(
+                np.arange(self.num_targets, dtype=np.intp),
+                len(report.added_sources),
+            )
+            report.pairs_added += self._append_pairs(added_sources, added_targets)
+        return report
 
     # -- labels ---------------------------------------------------------------
 
@@ -267,6 +459,18 @@ class CandidateStore:
         if self.labels[pair_id] != POSITIVE:
             self.labels[pair_id] = NEGATIVE
             self.label_explicit[pair_id] = True
+
+    def set_negatives(
+        self, source: AttributeRef, targets: Sequence[AttributeRef]
+    ) -> None:
+        """Batched :meth:`set_negative` for one source attribute."""
+        pair_ids = np.asarray(
+            self.ensure_pairs([(source, target) for target in targets]),
+            dtype=np.intp,
+        )
+        pair_ids = pair_ids[self.labels[pair_ids] != POSITIVE]
+        self.labels[pair_ids] = NEGATIVE
+        self.label_explicit[pair_ids] = True
 
     def labeled_ids(self) -> np.ndarray:
         return np.flatnonzero(self.labels != UNLABELED)

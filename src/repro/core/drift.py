@@ -1,0 +1,100 @@
+"""Drift-side bookkeeping for the incremental re-matching path.
+
+When a :class:`~repro.schema.drift.SchemaDelta` lands on a live matcher
+(:meth:`repro.core.matcher.LearnedSchemaMatcher.apply_delta`), only the
+pairs the delta touched should ever reach BERT again; everything else is
+served from the engine's content-addressed score cache.  The counters here
+make that contract observable: ``pairs_rescored`` / ``pairs_reused`` are
+measured around the first featurization pass after each delta, and the
+drift benchmark (``benchmarks/test_drift.py``) gates on their ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema.drift import DeltaEffect, SchemaDelta
+from .candidates import StoreDeltaReport
+
+
+@dataclass
+class DriftReport:
+    """What one :meth:`LearnedSchemaMatcher.apply_delta` call did."""
+
+    delta: SchemaDelta
+    effect: DeltaEffect
+    store: StoreDeltaReport
+    #: Source indices whose candidate sets were regenerated via retrieval.
+    regenerated_sources: list[int] = field(default_factory=list)
+    #: Featurizer cache entries dropped, by featurizer name.
+    featurizer_entries_dropped: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"delta[{self.delta.describe()}] "
+            f"pairs -{self.store.pairs_dropped}/+{self.store.pairs_added}, "
+            f"{len(self.regenerated_sources)} sources regenerated, "
+            f"{self.store.labels_preserved} labels preserved"
+        )
+
+
+@dataclass
+class DriftStats:
+    """Cumulative drift counters, registered as ``drift`` on the matcher.
+
+    ``pairs_rescored``/``pairs_reused`` are engine-measured: the deltas of
+    the scoring engine's ``pairs_scored``/``pairs_skipped`` counters across
+    the first featurization pass after a drift, i.e. actual BERT forward
+    work vs. fingerprint-cache hits -- not an estimate from the pair sets.
+    """
+
+    deltas_applied: int = 0
+    columns_added: int = 0
+    columns_renamed: int = 0
+    columns_retyped: int = 0
+    columns_dropped: int = 0
+    pairs_dropped: int = 0
+    pairs_added: int = 0
+    views_invalidated: int = 0
+    featurizer_entries_dropped: int = 0
+    labels_preserved: int = 0
+    labels_dropped: int = 0
+    candidate_regenerations: int = 0
+    #: BERT pairs actually re-scored on the first pass after a drift.
+    pairs_rescored: int = 0
+    #: Pairs served from the engine's fingerprint score cache on that pass.
+    pairs_reused: int = 0
+
+    def record(self, report: DriftReport) -> None:
+        self.deltas_applied += 1
+        self.columns_added += len(report.effect.added)
+        self.columns_renamed += len(report.effect.renamed)
+        self.columns_retyped += len(report.effect.retyped)
+        self.columns_dropped += len(report.effect.dropped)
+        self.pairs_dropped += report.store.pairs_dropped
+        self.pairs_added += report.store.pairs_added
+        self.views_invalidated += report.store.views_invalidated
+        self.featurizer_entries_dropped += sum(
+            report.featurizer_entries_dropped.values()
+        )
+        self.labels_preserved += report.store.labels_preserved
+        self.labels_dropped += report.store.labels_dropped
+        self.candidate_regenerations += len(report.regenerated_sources)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "deltas_applied": self.deltas_applied,
+            "columns_added": self.columns_added,
+            "columns_renamed": self.columns_renamed,
+            "columns_retyped": self.columns_retyped,
+            "columns_dropped": self.columns_dropped,
+            "pairs_dropped": self.pairs_dropped,
+            "pairs_added": self.pairs_added,
+            "views_invalidated": self.views_invalidated,
+            "featurizer_entries_dropped": self.featurizer_entries_dropped,
+            "labels_preserved": self.labels_preserved,
+            "labels_dropped": self.labels_dropped,
+            "candidate_regenerations": self.candidate_regenerations,
+            "pairs_rescored": self.pairs_rescored,
+            "pairs_reused": self.pairs_reused,
+        }

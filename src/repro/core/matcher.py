@@ -36,10 +36,12 @@ from ..retrieval import (
     build_generator,
     docs_from_refs,
 )
+from ..schema.drift import SchemaDelta, apply_delta as apply_schema_delta
 from ..schema.model import AttributeRef, Correspondence, MatchResult, Schema
 from .artifacts import ArtifactConfig, DomainArtifacts, build_artifacts
 from .candidates import CandidateStore
 from .config import LsmConfig
+from .drift import DriftReport, DriftStats
 from .meta import SelfTrainingClassifier
 from .scoring import ScoreAdjuster
 from .selection import SelectionStrategy, make_strategy
@@ -156,12 +158,17 @@ class LearnedSchemaMatcher:
         self._iteration = 0
         self._labels_at_last_bert_update = 0
         self.last_predictions: Predictions | None = None
+        self.drift_stats = DriftStats()
+        #: True between a drift and the next featurization pass; makes the
+        #: pass measure rescored-vs-reused pair counts into ``drift_stats``.
+        self._drift_pending = False
 
         if self.bert_featurizer is not None:
             self.metrics.register("engine", self.bert_featurizer.engine.stats)
             self.metrics.register("train", self.bert_featurizer.train_stats)
         self.metrics.register("pipeline", self.pipeline.timings)
         self.metrics.register("retrieval", self.retrieval_stats)
+        self.metrics.register("drift", self.drift_stats)
         from .. import store as artifact_store
 
         self.metrics.register("store", artifact_store.cache_stats)
@@ -223,6 +230,94 @@ class LearnedSchemaMatcher:
             self.retrieval_stats.pairs_restored += added
             self.retrieval_stats.pairs_after_pruning = self.store.num_pairs
 
+    # -- schema drift ----------------------------------------------------------
+
+    def apply_delta(self, delta: SchemaDelta) -> DriftReport:
+        """Evolve the *source* schema in place and re-match incrementally.
+
+        Only what the delta touched is redone; every cache layer has an
+        explicit invalidation here (see DESIGN.md, "Schema drift"):
+
+        * the store drops/remaps the affected pairs, keeping surviving
+          labels and invalidating renamed sources' views;
+        * featurizer ref-keyed caches (lexical/embedding scores, BERT
+          encodings) shed entries of retired refs;
+        * the adjuster's dtype mask is invalidated when a column retyped;
+        * affected sources' candidate sets are regenerated through the
+          retrieval layer -- unaffected sources keep their pair sets, so
+          their unchanged encodings hit the engine's fingerprint score
+          cache and never reach BERT again.
+
+        The next :meth:`predict` measures that contract: engine
+        scored/skipped deltas across its featurization pass accumulate into
+        ``drift_stats.pairs_rescored`` / ``pairs_reused``.
+        """
+        with obs.activated(self.tracer), obs.span(
+            "lsm.drift", ops=len(delta), delta=delta.describe()
+        ) as drift_span:
+            new_schema, effect = apply_schema_delta(self.source_schema, delta)
+            use_retrieval = (
+                self.generator is not None
+                and self.config.max_candidates_per_source is not None
+            )
+            store_report = self.store.apply_delta(
+                new_schema, effect, add_full_product=not use_retrieval
+            )
+            self.source_schema = new_schema
+
+            stale = effect.stale_refs | effect.text_changed
+            featurizer_dropped = self.pipeline.invalidate_refs(stale)
+            if effect.retyped:
+                self.adjuster.invalidate_dtype_mask()
+            remap = getattr(self.strategy, "apply_renames", None)
+            if callable(remap):
+                remap(effect.renamed, effect.dropped)
+
+            regenerated: list[int] = []
+            if use_retrieval:
+                source_docs = docs_from_refs(
+                    new_schema, self.store.source_refs, self.config.use_descriptions
+                )
+                self.generator.replace_source_docs(source_docs)
+                affected = store_report.affected_sources()
+                if affected:
+                    with obs.span(
+                        "lsm.drift_candidates", sources=len(affected)
+                    ):
+                        sets = self.generator.generate_for_sources(
+                            affected, self.config.max_candidates_per_source
+                        )
+                        added, removed = self.store.apply_candidate_sets_for_sources(
+                            affected, sets.per_source
+                        )
+                        store_report.pairs_added += added
+                        store_report.pairs_dropped += removed
+                    self.retrieval_stats.pairs_after_pruning = self.store.num_pairs
+                    regenerated = affected
+
+            report = DriftReport(
+                delta=delta,
+                effect=effect,
+                store=store_report,
+                regenerated_sources=regenerated,
+                featurizer_entries_dropped=featurizer_dropped,
+            )
+            self.drift_stats.record(report)
+            self._drift_pending = True
+            self.last_predictions = None
+            drift_span.set(
+                pairs_dropped=store_report.pairs_dropped,
+                pairs_added=store_report.pairs_added,
+                labels_preserved=store_report.labels_preserved,
+            )
+            obs.event(
+                "drift.applied",
+                level="info",
+                delta=delta.describe(),
+                regenerated_sources=len(regenerated),
+            )
+        return report
+
     # -- user feedback ---------------------------------------------------------
 
     def record_match(self, source: AttributeRef, target: AttributeRef) -> None:
@@ -233,8 +328,7 @@ class LearnedSchemaMatcher:
         self, source: AttributeRef, rejected_targets: list[AttributeRef]
     ) -> None:
         """The user saw these suggestions for ``source``; none was correct."""
-        for target in rejected_targets:
-            self.store.set_negative(source, target)
+        self.store.set_negatives(source, rejected_targets)
 
     # -- training + prediction ---------------------------------------------------
 
@@ -277,8 +371,29 @@ class LearnedSchemaMatcher:
                 self._maybe_update_bert()
 
             all_ids = np.arange(self.store.num_pairs)
+            engine_stats = (
+                self.bert_featurizer.engine.stats
+                if self.bert_featurizer is not None
+                else None
+            )
+            measure_drift = self._drift_pending and engine_stats is not None
+            if measure_drift:
+                scored_before = engine_stats.pairs_scored
+                skipped_before = engine_stats.pairs_skipped
             with obs.span("lsm.featurize", pairs=int(self.store.num_pairs)):
                 features = self.pipeline.featurize(self.store.views(all_ids))
+            if measure_drift:
+                rescored = engine_stats.pairs_scored - scored_before
+                reused = engine_stats.pairs_skipped - skipped_before
+                self.drift_stats.pairs_rescored += rescored
+                self.drift_stats.pairs_reused += reused
+                obs.event(
+                    "drift.rescore",
+                    level="info",
+                    pairs_rescored=int(rescored),
+                    pairs_reused=int(reused),
+                )
+            self._drift_pending = False
             with obs.span(
                 "lsm.meta_fit", labeled=int(self.store.labeled_ids().size)
             ):

@@ -86,6 +86,11 @@ class GroundTruthOracle:
         """How many source attributes this oracle is wrong about."""
         return sum(1 for source, target in self.truth.items() if self.belief[source] != target)
 
+    def has_truth(self, source: AttributeRef) -> bool:
+        """Whether this user can map ``source`` at all (drift-added columns
+        enter the schema without ground truth and are unlabelable)."""
+        return source in self.belief
+
     def label(self, source: AttributeRef) -> AttributeRef:
         """The target this user maps ``source`` to when asked directly."""
         try:
@@ -107,3 +112,15 @@ class GroundTruthOracle:
     def is_correct(self, source: AttributeRef, target: AttributeRef) -> bool:
         """Whether a proposed correspondence matches the *true* ground truth."""
         return self.truth.get(source) == target
+
+    def apply_drift(self, effect) -> None:
+        """Carry the oracle's truth and belief across a schema delta.
+
+        Renamed source columns keep their target (and any corrupted belief)
+        under the new ref; dropped columns leave both maps; added columns
+        have no truth -- the simulated user cannot map drift-added columns.
+        """
+        from ..schema.drift import remap_ground_truth
+
+        self.truth = remap_ground_truth(self.truth, effect)
+        self.belief = remap_ground_truth(self.belief, effect)

@@ -79,6 +79,17 @@ class ScoreAdjuster:
             self._dtype_mask_key = key
         return self._dtype_mask
 
+    def invalidate_dtype_mask(self) -> None:
+        """Force a dtype-mask rebuild on the next :meth:`adjust`.
+
+        The mask key is the pair *index* arrays, which cannot see a retyped
+        column: the pair layout is unchanged while the compatibility matrix
+        is not.  Schema drift must call this explicitly or retyped columns
+        keep filtering against their old dtype.
+        """
+        self._dtype_mask = None
+        self._dtype_mask_key = None
+
     def adjust(self, scores: np.ndarray) -> np.ndarray:
         """Return the adjusted copy of ``scores`` (input is not mutated)."""
         adjusted = scores.astype(np.float64).copy()

@@ -93,6 +93,23 @@ class LeastConfidentAnchorSelection:
         ranked = sorted(pool, key=lambda ref: (confidences.get(ref, 0.0), str(ref)))
         return ranked[:n]
 
+    def apply_renames(
+        self,
+        renamed: Mapping[AttributeRef, AttributeRef],
+        dropped: Sequence[AttributeRef] = (),
+    ) -> None:
+        """Carry the anchor set across schema drift.
+
+        Anchors are held by ref; a renamed anchor would silently stop
+        matching the unlabeled pool (and stop being offered) unless its ref
+        follows the rename.  Dropped anchors leave the set.
+        """
+        gone = set(dropped)
+        self.anchors = [
+            renamed.get(ref, ref) for ref in self.anchors if ref not in gone
+        ]
+        self._anchor_set = set(self.anchors)
+
 
 def make_strategy(
     name: str,

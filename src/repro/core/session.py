@@ -178,6 +178,23 @@ class MatchingSession:
             self._ensure_open()
             self.matcher.record_rejected(source, rejected_targets)
 
+    def apply_delta(self, delta):
+        """Apply a schema delta to the live session, atomically.
+
+        Runs under the session lock, so drift serialises against predict,
+        label mutation and the run loop's iteration body: an in-flight
+        iteration finishes against the pre-drift schema, the next one sees
+        the evolved one.  The oracle's ground truth follows the delta
+        (renames keep their targets, drops lose them).
+        """
+        with self._lock:
+            self._ensure_open()
+            report = self.matcher.apply_delta(delta)
+            apply_drift = getattr(self.oracle, "apply_drift", None)
+            if callable(apply_drift):
+                apply_drift(report.effect)
+            return report
+
     def __enter__(self) -> "MatchingSession":
         return self
 
@@ -238,6 +255,10 @@ class MatchingSession:
                     with obs.span("session.label"):
                         to_label = self.matcher.select_attributes_to_label()
                         for source in to_label:
+                            # Drift-added columns have no ground truth; the
+                            # simulated user cannot map them directly.
+                            if not self.oracle.has_truth(source):
+                                continue
                             self.matcher.record_match(source, self.oracle.label(source))
                             labels_provided += 1
 

@@ -1,6 +1,7 @@
 """Evaluation datasets: retail ISS, customers A-E, public schema pairs."""
 
 from .corruption import CorruptionMix, NameCorruptor, apply_style
+from .drift import DriftConfig, DriftGenerator, generate_drift_sequence
 from .customers import (
     CUSTOMER_SPECS,
     CustomerDataset,
@@ -39,6 +40,8 @@ __all__ = [
     "CorruptionMix",
     "CustomerDataset",
     "CustomerSpec",
+    "DriftConfig",
+    "DriftGenerator",
     "ISS_NUM_ATTRIBUTES",
     "ISS_NUM_ENTITIES",
     "ISS_NUM_RELATIONSHIPS",
@@ -54,6 +57,7 @@ __all__ = [
     "build_retail_iss",
     "generate_all_customers",
     "generate_customer",
+    "generate_drift_sequence",
     "load_all",
     "load_dataset",
     "retail_iss",

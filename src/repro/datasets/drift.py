@@ -1,0 +1,241 @@
+"""Deterministic schema-drift generator (ROADMAP item 2(b)).
+
+Produces :class:`~repro.schema.drift.SchemaDelta` sequences against any
+customer schema: columns are added, renamed, retyped and dropped the way a
+live customer warehouse evolves while an analyst iterates.  Everything
+derives from the seed -- the same ``(schema, DriftConfig)`` pair always
+yields the same delta sequence, so drift replays (``repro drift replay``,
+``benchmarks/test_drift.py``) are reproducible bit for bit.
+
+The generator walks the schema *as it evolves*: each delta is generated
+against the schema produced by the previous one, so scripted sequences can
+rename a column in step 1 and drop it under its new name in step 3.
+
+Operation synthesis keeps the drifted schema realistic:
+
+* **rename** re-styles or suffixes the existing word tokens (the same
+  transformations :mod:`repro.datasets.corruption` uses to derive customer
+  names from the ISS), so renamed columns stay lexically related to their
+  ground-truth targets -- drift must not silently destroy matchability;
+* **retype** moves the column to a different *compatibility family*
+  whenever possible, so the dtype-filter mask actually changes;
+* **add** introduces columns named from a small domain lexicon, typed
+  uniformly over the families;
+* **drop** never removes an entity's last column or a primary key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..schema.drift import (
+    AddColumn,
+    DriftOp,
+    DropColumn,
+    RenameColumn,
+    RetypeColumn,
+    SchemaDelta,
+    apply_delta,
+)
+from ..schema.model import Attribute, AttributeRef, DataType, Schema
+from ..text.tokenize import split_identifier
+from .corruption import apply_style
+
+#: Rename styles cycled through deterministically (always != the current
+#: name because a suffix token is added when restyling alone is a no-op).
+_RENAME_STYLES = ("camel", "pascal", "snake", "compact")
+
+#: Suffix tokens a customer DBA typically appends on a rename.
+_RENAME_SUFFIXES = ("v2", "new", "ext", "src")
+
+#: Name stems for added columns, combined with a running counter for
+#: uniqueness (``audit_ts_3``); dtypes rotate over the families.
+_ADD_STEMS = (
+    ("audit_ts", DataType.DATETIME),
+    ("batch_no", DataType.INTEGER),
+    ("src_system", DataType.STRING),
+    ("load_flag", DataType.BOOLEAN),
+    ("adj_amount", DataType.DECIMAL),
+)
+
+#: Retype targets per family: prefer a different family (changes the
+#: dtype-compatibility mask), fall back to a sibling within the family.
+_RETYPE_ACROSS: dict[str, DataType] = {
+    "text": DataType.INTEGER,
+    "numeric": DataType.STRING,
+    "boolean": DataType.INTEGER,
+    "temporal": DataType.STRING,
+    "binary": DataType.STRING,
+    "unknown": DataType.STRING,
+}
+
+
+@dataclass
+class DriftConfig:
+    """Knobs of the deterministic drift generator."""
+
+    #: Number of deltas in the sequence.
+    num_deltas: int = 3
+    #: Column operations per delta.
+    ops_per_delta: int = 2
+    #: Relative mix of op kinds (normalised; zero removes the kind).
+    mix: dict[str, float] = field(
+        default_factory=lambda: {"add": 1.0, "rename": 2.0, "retype": 1.0, "drop": 1.0}
+    )
+    #: Only drift columns of these entities (None = whole schema).
+    entities: tuple[str, ...] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_deltas < 1:
+            raise ValueError("num_deltas must be >= 1")
+        if self.ops_per_delta < 1:
+            raise ValueError("ops_per_delta must be >= 1")
+        if not any(weight > 0 for weight in self.mix.values()):
+            raise ValueError("drift mix must have at least one positive weight")
+        unknown = set(self.mix) - {"add", "rename", "retype", "drop"}
+        if unknown:
+            raise ValueError(f"unknown drift op kinds in mix: {sorted(unknown)}")
+
+
+class DriftGenerator:
+    """Seeded synthesis of drift ops against an evolving schema."""
+
+    def __init__(self, schema: Schema, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self.schema = schema
+        self._rng = np.random.default_rng(self.config.seed)
+        self._counter = 0
+        kinds = [kind for kind, weight in sorted(self.config.mix.items()) if weight > 0]
+        weights = np.asarray([self.config.mix[kind] for kind in kinds], dtype=np.float64)
+        self._kinds = kinds
+        self._weights = weights / weights.sum()
+
+    # -- op targets -----------------------------------------------------------
+
+    def _driftable_refs(self) -> list[AttributeRef]:
+        allowed = self.config.entities
+        return [
+            ref
+            for ref in self.schema.attribute_refs()
+            if allowed is None or ref.entity in allowed
+        ]
+
+    def _pick_ref(self, droppable: bool = False) -> AttributeRef | None:
+        refs = self._driftable_refs()
+        if droppable:
+            keys = set(self.schema.key_refs())
+            refs = [
+                ref
+                for ref in refs
+                if ref not in keys and len(self.schema.entity(ref.entity)) > 1
+            ]
+        if not refs:
+            return None
+        return refs[int(self._rng.integers(len(refs)))]
+
+    # -- op synthesis ---------------------------------------------------------
+
+    def _synthesize_rename(self) -> RenameColumn | None:
+        ref = self._pick_ref()
+        if ref is None:
+            return None
+        entity = self.schema.entity(ref.entity)
+        tokens = split_identifier(ref.attribute) or [ref.attribute.lower()]
+        style = _RENAME_STYLES[int(self._rng.integers(len(_RENAME_STYLES)))]
+        new_name = apply_style(list(tokens), style)
+        if new_name == ref.attribute or entity.has_attribute(new_name):
+            suffix = _RENAME_SUFFIXES[int(self._rng.integers(len(_RENAME_SUFFIXES)))]
+            new_name = apply_style([*tokens, suffix], style)
+        if new_name == ref.attribute or entity.has_attribute(new_name):
+            return None
+        return RenameColumn(ref=ref, new_name=new_name)
+
+    def _synthesize_retype(self) -> RetypeColumn | None:
+        ref = self._pick_ref()
+        if ref is None:
+            return None
+        current = self.schema.attribute(ref).dtype
+        new_dtype = _RETYPE_ACROSS[current.family]
+        if new_dtype is current:
+            new_dtype = DataType.STRING if current is not DataType.STRING else DataType.INTEGER
+        return RetypeColumn(ref=ref, new_dtype=new_dtype)
+
+    def _synthesize_add(self) -> AddColumn | None:
+        refs = self._driftable_refs()
+        if not refs:
+            return None
+        entity = self.schema.entity(
+            refs[int(self._rng.integers(len(refs)))].entity
+        )
+        stem, dtype = _ADD_STEMS[self._counter % len(_ADD_STEMS)]
+        self._counter += 1
+        name = f"{stem}_{self._counter}"
+        while entity.has_attribute(name):
+            self._counter += 1
+            name = f"{stem}_{self._counter}"
+        return AddColumn(
+            entity=entity.name,
+            attribute=Attribute(
+                name=name, dtype=dtype, description=f"drift-added column {name}"
+            ),
+        )
+
+    def _synthesize_drop(self) -> DropColumn | None:
+        ref = self._pick_ref(droppable=True)
+        if ref is None:
+            return None
+        return DropColumn(ref=ref)
+
+    def _synthesize(self, kind: str) -> DriftOp | None:
+        if kind == "rename":
+            return self._synthesize_rename()
+        if kind == "retype":
+            return self._synthesize_retype()
+        if kind == "add":
+            return self._synthesize_add()
+        return self._synthesize_drop()
+
+    # -- delta generation -----------------------------------------------------
+
+    def next_delta(self) -> SchemaDelta:
+        """Generate one delta against the current schema and advance it."""
+        operations: list[DriftOp] = []
+        touched: set[AttributeRef] = set()
+        attempts = 0
+        while len(operations) < self.config.ops_per_delta and attempts < 50:
+            attempts += 1
+            kind = self._kinds[
+                int(self._rng.choice(len(self._kinds), p=self._weights))
+            ]
+            op = self._synthesize(kind)
+            if op is None:
+                continue
+            # One op per column per delta keeps every delta order-free to
+            # reason about (ops still *apply* sequentially).
+            refs = {op.ref} if not isinstance(op, RenameColumn) else {op.ref, op.new_ref}
+            if refs & touched:
+                continue
+            probe = SchemaDelta(operations=(*operations, op))
+            try:
+                apply_delta(self.schema, probe)
+            except ValueError:
+                continue
+            operations.append(op)
+            touched |= refs
+        delta = SchemaDelta(operations=tuple(operations))
+        self.schema, _ = apply_delta(self.schema, delta)
+        return delta
+
+    def sequence(self) -> list[SchemaDelta]:
+        """The full scripted sequence (``config.num_deltas`` deltas)."""
+        return [self.next_delta() for _ in range(self.config.num_deltas)]
+
+
+def generate_drift_sequence(
+    schema: Schema, config: DriftConfig | None = None
+) -> list[SchemaDelta]:
+    """Deterministic delta sequence against ``schema`` (pure function)."""
+    return DriftGenerator(schema, config).sequence()

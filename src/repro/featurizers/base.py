@@ -119,3 +119,19 @@ class StaticFeaturizer:
 
     def _score(self, pair: AttributePairView) -> float:
         raise NotImplementedError
+
+    def invalidate_refs(self, refs: set[AttributeRef]) -> int:
+        """Drop cached scores of pairs touching any of ``refs``.
+
+        The score cache keys on ``(source_ref, target_ref)``; when schema
+        drift changes an attribute's textual identity behind an unchanged
+        ref -- impossible for renames (the ref changes too) but not for
+        description edits -- or retires a ref, its entries must go.  Returns
+        the number of entries dropped.
+        """
+        stale = [
+            key for key in self.cache if key[0] in refs or key[1] in refs
+        ]
+        for key in stale:
+            del self.cache[key]
+        return len(stale)

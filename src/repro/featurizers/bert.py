@@ -475,6 +475,22 @@ class BertFeaturizer:
             self._encoded_cache[key] = cached
         return cached
 
+    def invalidate_refs(self, refs: set) -> int:
+        """Drop encoded pairs touching any of ``refs`` (schema drift).
+
+        The encode cache keys on the pair's ref tuple; a renamed or dropped
+        column retires its ref, and the cached token ids embed the old name.
+        Returns the number of entries dropped.  The engine's persistent
+        score cache needs no sweep: scores are content-addressed by encoding
+        fingerprint, so a changed encoding simply misses.
+        """
+        stale = [
+            key for key in self._encoded_cache if key[0] in refs or key[1] in refs
+        ]
+        for key in stale:
+            del self._encoded_cache[key]
+        return len(stale)
+
     def encode_cls(
         self, token_lists: Sequence[Sequence[str]], batch_size: int = 64
     ) -> np.ndarray:

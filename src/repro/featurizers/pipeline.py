@@ -64,6 +64,22 @@ class FeaturizerPipeline:
         for featurizer in self.featurizers:
             featurizer.update(labeled_pairs, labels)
 
+    def invalidate_refs(self, refs: set) -> dict[str, int]:
+        """Drop per-featurizer cache entries touching the given refs.
+
+        Schema drift retires refs (renames, drops); each featurizer that
+        caches by ref pair must shed those entries.  Returns dropped counts
+        by featurizer name (featurizers without ref caches are skipped).
+        """
+        dropped: dict[str, int] = {}
+        if not refs:
+            return dropped
+        for featurizer in self.featurizers:
+            invalidate = getattr(featurizer, "invalidate_refs", None)
+            if callable(invalidate):
+                dropped[featurizer.name] = int(invalidate(refs))
+        return dropped
+
     def timings(self) -> dict[str, float]:
         """Per-featurizer cumulative seconds (copy; safe to mutate)."""
         return dict(self.stage_seconds)

@@ -215,6 +215,12 @@ class Retriever(Protocol):
         """Re-validate the index against its model; True if it was rebuilt."""
         ...
 
+    def update_docs(
+        self, added_docs: Sequence[AttributeDoc], removed_refs: set[AttributeRef]
+    ) -> None:
+        """Mutate the index in place: drop removed docs, append added ones."""
+        ...
+
 
 def rrf_fuse(
     matrices: Sequence[np.ndarray],
@@ -330,6 +336,19 @@ class FullProductGenerator:
     def refresh(self) -> bool:
         return False
 
+    def replace_source_docs(self, source_docs: Sequence[AttributeDoc]) -> None:
+        self._num_sources = len(source_docs)
+
+    def generate_for_sources(
+        self, source_indices: Sequence[int], k: int
+    ) -> CandidateSets:
+        all_targets = np.arange(self._num_targets)
+        return CandidateSets(
+            per_source=[all_targets] * len(source_indices),
+            k=self._num_targets,
+            retriever_names=("full",),
+        )
+
 
 class FusedCandidateGenerator:
     """Rank fusion over the configured retrievers -> per-source top-k sets."""
@@ -361,11 +380,14 @@ class FusedCandidateGenerator:
         return len(self.target_docs)
 
     def fused_matrix(self) -> np.ndarray:
+        return self._fuse_queries(self.source_docs)
+
+    def _fuse_queries(self, queries: Sequence[AttributeDoc]) -> np.ndarray:
         matrices: list[np.ndarray] = []
         weights: list[float] = []
         for retriever in self.retrievers:
             with self.stats.timer(f"score.{retriever.name}"):
-                matrices.append(retriever.score_matrix(self.source_docs))
+                matrices.append(retriever.score_matrix(queries))
             weights.append(float(self.config.weights.get(retriever.name, 1.0)))
         with self.stats.timer("fuse"):
             if len(matrices) == 1:
@@ -374,20 +396,77 @@ class FusedCandidateGenerator:
                 return rrf_fuse(matrices, weights, rrf_k=self.config.rrf_k)
             return score_fuse(matrices, weights)
 
+    def _rank(self, fused: np.ndarray, k: int) -> list[np.ndarray]:
+        with self.stats.timer("rank"):
+            order = np.argsort(-fused, axis=1, kind="stable")[:, : min(k, fused.shape[1])]
+        return [row.copy() for row in order]
+
     def generate(self, k: int) -> CandidateSets:
         if k < 1:
             raise ValueError("k must be >= 1")
         self.stats.generations += 1
         fused = self.fused_matrix()
-        k = min(k, fused.shape[1])
-        with self.stats.timer("rank"):
-            order = np.argsort(-fused, axis=1, kind="stable")[:, :k]
         return CandidateSets(
-            per_source=[row.copy() for row in order],
-            k=k,
+            per_source=self._rank(fused, k),
+            k=min(k, fused.shape[1]),
             retriever_names=tuple(r.name for r in self.retrievers),
             fused_scores=fused,
         )
+
+    # -- schema drift ---------------------------------------------------------
+
+    def replace_source_docs(self, source_docs: Sequence[AttributeDoc]) -> None:
+        """Swap the query-side docs after source-schema drift.
+
+        Source docs are queries, not index content, so no retriever state
+        needs rebuilding -- both fusion modes rank each query row
+        independently, which is what makes :meth:`generate_for_sources`
+        equivalent to slicing a full :meth:`generate`.
+        """
+        self.source_docs = list(source_docs)
+
+    def generate_for_sources(
+        self, source_indices: Sequence[int], k: int
+    ) -> CandidateSets:
+        """Candidate sets for a subset of sources (post-drift regeneration).
+
+        Scores only ``len(source_indices)`` query rows against the target
+        indexes; ``per_source[i]`` corresponds to ``source_indices[i]``.
+        Identical to the matching rows of a full :meth:`generate`.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.stats.generations += 1
+        queries = [self.source_docs[int(i)] for i in source_indices]
+        fused = self._fuse_queries(queries)
+        return CandidateSets(
+            per_source=self._rank(fused, k),
+            k=min(k, fused.shape[1]),
+            retriever_names=tuple(r.name for r in self.retrievers),
+            fused_scores=fused,
+        )
+
+    def update_target_docs(
+        self,
+        added_docs: Sequence[AttributeDoc] = (),
+        removed_refs: Sequence[AttributeRef] = (),
+    ) -> None:
+        """Evolve the target side in place: append/remove docs per retriever.
+
+        Every retriever mutates its existing index (new postings / index
+        rows) instead of rebuilding from scratch; removed docs are addressed
+        by ref.  Target indices shift when docs are removed -- callers must
+        regenerate their candidate sets afterwards.
+        """
+        removed = set(removed_refs)
+        if removed:
+            self.target_docs = [
+                doc for doc in self.target_docs if doc.ref not in removed
+            ]
+        self.target_docs.extend(added_docs)
+        for retriever in self.retrievers:
+            with self.stats.timer(f"update.{retriever.name}"):
+                retriever.update_docs(added_docs, removed)
 
     def refresh(self) -> bool:
         """Re-validate model-sensitive indexes; True when any was rebuilt."""

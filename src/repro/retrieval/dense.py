@@ -103,6 +103,30 @@ class DenseRetriever:
     def refresh(self) -> bool:
         return False
 
+    def update_docs(
+        self,
+        added_docs: Sequence[AttributeDoc],
+        removed_refs: set,
+    ) -> None:
+        """Mutate the index in place: drop rows of removed docs, encode and
+        append rows for added ones.  Only the added docs are encoded; the
+        evolved index is deliberately not persisted -- the store entry stays
+        keyed by (and consistent with) the doc set it was built from.
+        """
+        if removed_refs:
+            keep = [
+                i for i, doc in enumerate(self.target_docs)
+                if doc.ref not in removed_refs
+            ]
+            self.target_docs = [self.target_docs[i] for i in keep]
+            self._index = self._index[keep]
+        if added_docs:
+            self.target_docs.extend(added_docs)
+            added = self.embeddings.phrase_matrix(
+                [list(doc.tokens) for doc in added_docs]
+            )
+            self._index = np.concatenate([self._index, added.astype(self._index.dtype)])
+
 
 class ClsEncoder(Protocol):
     """What :class:`ClsDenseRetriever` needs from a MiniBERT wrapper."""
@@ -171,3 +195,28 @@ class ClsDenseRetriever:
         )
         self._indexed_version = version
         return True
+
+    def update_docs(
+        self,
+        added_docs: Sequence[AttributeDoc],
+        removed_refs: set,
+    ) -> None:
+        """In-place doc update (see :meth:`DenseRetriever.update_docs`).
+
+        Encodes only the added docs, under the *current* model version; if
+        the model has also moved, :meth:`refresh` still detects and rebuilds.
+        """
+        assert self._index is not None
+        if removed_refs:
+            keep = [
+                i for i, doc in enumerate(self.target_docs)
+                if doc.ref not in removed_refs
+            ]
+            self.target_docs = [self.target_docs[i] for i in keep]
+            self._index = self._index[keep]
+        if added_docs:
+            self.target_docs.extend(added_docs)
+            added = _normalize_rows(
+                self.encoder.encode_cls([list(doc.tokens) for doc in added_docs])
+            )
+            self._index = np.concatenate([self._index, added])

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..schema.model import AttributeRef
 from .base import AttributeDoc
 
 
@@ -65,16 +66,29 @@ class SparseRetriever:
         self.k1 = k1
         self.b = b
 
-        num_docs = len(self.target_docs)
         #: term -> list of (doc_index, term_frequency)
         self._postings: dict[str, list[tuple[int, int]]] = {}
-        self._doc_lengths = np.zeros(num_docs, dtype=np.float64)
+        self._doc_lengths = np.zeros(len(self.target_docs), dtype=np.float64)
         for doc_index, doc in enumerate(self.target_docs):
-            terms = doc_terms(doc, ngram_n)
-            self._doc_lengths[doc_index] = sum(terms.values())
-            for term, frequency in terms.items():
-                self._postings.setdefault(term, []).append((doc_index, frequency))
+            self._post_doc(doc_index, doc)
+        self._refresh_statistics()
 
+    def _post_doc(self, doc_index: int, doc: AttributeDoc) -> None:
+        """Add one doc's term postings (collection statistics not updated)."""
+        terms = doc_terms(doc, self.ngram_n)
+        self._doc_lengths[doc_index] = sum(terms.values())
+        for term, frequency in terms.items():
+            self._postings.setdefault(term, []).append((doc_index, frequency))
+
+    def _refresh_statistics(self) -> None:
+        """Recompute the collection-level BM25 statistics from the postings.
+
+        Length norms and idf depend on collection aggregates (average length,
+        document frequency), so in-place doc changes refresh them wholesale
+        -- O(vocabulary), which is the cheap part; the expensive part
+        (re-tokenising unchanged docs into n-gram postings) never reruns.
+        """
+        num_docs = len(self.target_docs)
         average_length = self._doc_lengths.mean() if num_docs else 1.0
         if average_length == 0.0:
             average_length = 1.0
@@ -88,6 +102,46 @@ class SparseRetriever:
             term: float(np.log1p((num_docs - len(postings) + 0.5) / (len(postings) + 0.5)))
             for term, postings in self._postings.items()
         }
+
+    def update_docs(
+        self,
+        added_docs: Sequence[AttributeDoc],
+        removed_refs: set[AttributeRef],
+    ) -> None:
+        """Mutate the inverted index in place (schema drift on the target).
+
+        Removed docs take their postings with them and the survivors'
+        indices compact; added docs post at the end.  Only the changed docs
+        are (re-)tokenised -- surviving postings are renumbered, not
+        rebuilt -- then the collection statistics refresh once.
+        """
+        if removed_refs:
+            keep = [
+                i for i, doc in enumerate(self.target_docs)
+                if doc.ref not in removed_refs
+            ]
+            index_map = {old: new for new, old in enumerate(keep)}
+            self.target_docs = [self.target_docs[i] for i in keep]
+            self._doc_lengths = self._doc_lengths[keep]
+            for term in list(self._postings):
+                postings = [
+                    (index_map[doc_index], frequency)
+                    for doc_index, frequency in self._postings[term]
+                    if doc_index in index_map
+                ]
+                if postings:
+                    self._postings[term] = postings
+                else:
+                    del self._postings[term]
+        if added_docs:
+            start = len(self.target_docs)
+            self.target_docs.extend(added_docs)
+            self._doc_lengths = np.concatenate(
+                [self._doc_lengths, np.zeros(len(added_docs))]
+            )
+            for offset, doc in enumerate(added_docs):
+                self._post_doc(start + offset, doc)
+        self._refresh_statistics()
 
     @property
     def num_targets(self) -> int:

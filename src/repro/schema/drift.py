@@ -1,0 +1,342 @@
+"""Schema evolution: typed column deltas and their application.
+
+The paper's deployment setting (Section III) is a long-lived matching
+service over *messy, changing* customer schemata: columns get added,
+renamed and retyped while an analyst iterates.  This module is the data
+model of that change -- a :class:`SchemaDelta` is an ordered sequence of
+column operations, and :func:`apply_delta` produces the evolved schema
+without mutating the original (every consumer of a ``Schema`` relies on
+its indexes being construction-time immutable).
+
+The delta model deliberately stays at *column* granularity (the paper's
+unit of matching): add / rename / retype / drop.  Entity-level evolution
+(split, merge) can be expressed as a sequence of column operations.
+
+Downstream, :meth:`repro.core.matcher.LearnedSchemaMatcher.apply_delta`
+consumes the same delta to incrementally re-match -- see DESIGN.md,
+"Schema drift" for the per-cache-layer invalidation contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Union
+
+from .model import (
+    Attribute,
+    AttributeRef,
+    DataType,
+    Entity,
+    Relationship,
+    Schema,
+)
+
+
+class DriftError(ValueError):
+    """A delta operation does not apply to the schema it was aimed at."""
+
+
+@dataclass(frozen=True)
+class AddColumn:
+    """Add ``attribute`` to ``entity`` (which must already exist)."""
+
+    entity: str
+    attribute: Attribute
+
+    kind = "add"
+
+    @property
+    def ref(self) -> AttributeRef:
+        return AttributeRef(self.entity, self.attribute.name)
+
+    def __str__(self) -> str:
+        return f"add {self.ref} {self.attribute.dtype.value}"
+
+
+@dataclass(frozen=True)
+class RenameColumn:
+    """Rename the column at ``ref`` to ``new_name`` (same entity)."""
+
+    ref: AttributeRef
+    new_name: str
+
+    kind = "rename"
+
+    @property
+    def new_ref(self) -> AttributeRef:
+        return AttributeRef(self.ref.entity, self.new_name)
+
+    def __str__(self) -> str:
+        return f"rename {self.ref} -> {self.new_name}"
+
+
+@dataclass(frozen=True)
+class RetypeColumn:
+    """Change the declared data type of the column at ``ref``."""
+
+    ref: AttributeRef
+    new_dtype: DataType
+
+    kind = "retype"
+
+    def __str__(self) -> str:
+        return f"retype {self.ref} -> {self.new_dtype.value}"
+
+
+@dataclass(frozen=True)
+class DropColumn:
+    """Remove the column at ``ref`` (and any relationship touching it)."""
+
+    ref: AttributeRef
+
+    kind = "drop"
+
+    def __str__(self) -> str:
+        return f"drop {self.ref}"
+
+
+DriftOp = Union[AddColumn, RenameColumn, RetypeColumn, DropColumn]
+
+
+@dataclass(frozen=True)
+class SchemaDelta:
+    """One drift step: an ordered sequence of column operations.
+
+    Operations apply sequentially, so a delta may rename a column and then
+    retype it under its new name.  Deltas are plain data -- hashable,
+    comparable, serialisable via :func:`delta_to_dict` -- so drift scripts
+    replay deterministically.
+    """
+
+    operations: tuple[DriftOp, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def describe(self) -> str:
+        return "; ".join(str(op) for op in self.operations)
+
+    def counts(self) -> dict[str, int]:
+        """Operation counts by kind (``{"add": 1, "rename": 2, ...}``)."""
+        counts: dict[str, int] = {}
+        for op in self.operations:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+
+@dataclass
+class DeltaEffect:
+    """What a delta did to a schema, in terms of attribute references.
+
+    ``renamed`` maps old ref -> new ref.  ``retyped`` maps the (possibly
+    renamed) ref -> (old dtype, new dtype).  ``text_changed`` is the set of
+    post-delta refs whose *textual* identity (name, and therefore encoded
+    views) changed -- the refs whose featurizer caches must be invalidated;
+    a pure retype is deliberately not in it (encodings carry no dtype).
+    """
+
+    added: list[AttributeRef] = field(default_factory=list)
+    renamed: dict[AttributeRef, AttributeRef] = field(default_factory=dict)
+    retyped: dict[AttributeRef, tuple[DataType, DataType]] = field(default_factory=dict)
+    dropped: list[AttributeRef] = field(default_factory=list)
+
+    @property
+    def text_changed(self) -> set[AttributeRef]:
+        return set(self.renamed.values()) | set(self.added)
+
+    @property
+    def stale_refs(self) -> set[AttributeRef]:
+        """Pre-delta refs that no longer name a live column."""
+        return set(self.renamed) | set(self.dropped)
+
+
+def _apply_to_entity(
+    entity: Entity, operations: Iterable[DriftOp], effect: DeltaEffect
+) -> Entity:
+    attributes = list(entity.attributes)
+    primary_key = entity.primary_key
+    names = {attribute.name for attribute in attributes}
+
+    for op in operations:
+        if isinstance(op, AddColumn):
+            if op.attribute.name in names:
+                raise DriftError(f"{op}: column already exists")
+            attributes.append(op.attribute)
+            names.add(op.attribute.name)
+            effect.added.append(op.ref)
+        elif isinstance(op, RenameColumn):
+            if op.ref.attribute not in names:
+                raise DriftError(f"{op}: no such column")
+            if op.new_name == op.ref.attribute:
+                raise DriftError(f"{op}: rename to the same name")
+            if op.new_name in names:
+                raise DriftError(f"{op}: target name already exists")
+            index = next(
+                i for i, a in enumerate(attributes) if a.name == op.ref.attribute
+            )
+            old = attributes[index]
+            attributes[index] = Attribute(
+                name=op.new_name, dtype=old.dtype, description=old.description
+            )
+            names.discard(op.ref.attribute)
+            names.add(op.new_name)
+            if primary_key == op.ref.attribute:
+                primary_key = op.new_name
+            effect.renamed[op.ref] = op.new_ref
+        elif isinstance(op, RetypeColumn):
+            if op.ref.attribute not in names:
+                raise DriftError(f"{op}: no such column")
+            index = next(
+                i for i, a in enumerate(attributes) if a.name == op.ref.attribute
+            )
+            old = attributes[index]
+            if old.dtype is op.new_dtype:
+                raise DriftError(f"{op}: column already has that type")
+            attributes[index] = Attribute(
+                name=old.name, dtype=op.new_dtype, description=old.description
+            )
+            effect.retyped[op.ref] = (old.dtype, op.new_dtype)
+        elif isinstance(op, DropColumn):
+            if op.ref.attribute not in names:
+                raise DriftError(f"{op}: no such column")
+            if len(attributes) == 1:
+                raise DriftError(f"{op}: cannot drop the last column of an entity")
+            attributes = [a for a in attributes if a.name != op.ref.attribute]
+            names.discard(op.ref.attribute)
+            if primary_key == op.ref.attribute:
+                primary_key = None
+            effect.dropped.append(op.ref)
+        else:  # pragma: no cover - exhaustive over DriftOp
+            raise DriftError(f"unknown drift operation: {op!r}")
+
+    return Entity(
+        name=entity.name,
+        attributes=attributes,
+        primary_key=primary_key,
+        description=entity.description,
+    )
+
+
+def _remap_relationships(
+    relationships: Iterable[Relationship], effect: DeltaEffect
+) -> list[Relationship]:
+    dropped = set(effect.dropped)
+    remapped: list[Relationship] = []
+    for relationship in relationships:
+        if relationship.child in dropped or relationship.parent in dropped:
+            continue
+        child = effect.renamed.get(relationship.child, relationship.child)
+        parent = effect.renamed.get(relationship.parent, relationship.parent)
+        remapped.append(Relationship(child=child, parent=parent))
+    return remapped
+
+
+def apply_delta(
+    schema: Schema, delta: SchemaDelta
+) -> tuple[Schema, DeltaEffect]:
+    """Return ``(evolved schema, effect)``; the input schema is untouched.
+
+    Relationships follow renames and disappear with dropped endpoints; a
+    dropped primary key clears the entity's PK.  Raises :class:`DriftError`
+    when an operation does not apply (unknown column, duplicate name,
+    no-op rename/retype, dropping an entity's last column).
+    """
+    by_entity: dict[str, list[DriftOp]] = {}
+    for op in delta.operations:
+        entity_name = op.entity if isinstance(op, AddColumn) else op.ref.entity
+        if not schema.has_entity(entity_name):
+            raise DriftError(f"{op}: no such entity {entity_name!r}")
+        by_entity.setdefault(entity_name, []).append(op)
+
+    effect = DeltaEffect()
+    entities = [
+        _apply_to_entity(entity, by_entity[entity.name], effect)
+        if entity.name in by_entity
+        else entity
+        for entity in schema.entities
+    ]
+    evolved = Schema(
+        schema.name, entities, _remap_relationships(schema.relationships, effect)
+    )
+    return evolved, effect
+
+
+def remap_ground_truth(
+    truth: Mapping[AttributeRef, AttributeRef], effect: DeltaEffect
+) -> dict[AttributeRef, AttributeRef]:
+    """Carry a source-side ground truth across a delta.
+
+    Renamed source columns keep their target under the new ref; dropped
+    columns leave the mapping; added columns have no truth to inherit.
+    """
+    dropped = set(effect.dropped)
+    return {
+        effect.renamed.get(source, source): target
+        for source, target in truth.items()
+        if source not in dropped
+    }
+
+
+# -- serialisation (drift scripts for ``repro drift replay``) -----------------
+
+
+def delta_to_dict(delta: SchemaDelta) -> dict:
+    operations = []
+    for op in delta.operations:
+        if isinstance(op, AddColumn):
+            operations.append(
+                {
+                    "op": "add",
+                    "entity": op.entity,
+                    "name": op.attribute.name,
+                    "dtype": op.attribute.dtype.value,
+                    "description": op.attribute.description,
+                }
+            )
+        elif isinstance(op, RenameColumn):
+            operations.append({"op": "rename", "ref": str(op.ref), "new_name": op.new_name})
+        elif isinstance(op, RetypeColumn):
+            operations.append(
+                {"op": "retype", "ref": str(op.ref), "dtype": op.new_dtype.value}
+            )
+        else:
+            operations.append({"op": "drop", "ref": str(op.ref)})
+    return {"operations": operations}
+
+
+def delta_from_dict(payload: Mapping) -> SchemaDelta:
+    operations: list[DriftOp] = []
+    for entry in payload["operations"]:
+        kind = entry["op"]
+        if kind == "add":
+            operations.append(
+                AddColumn(
+                    entity=entry["entity"],
+                    attribute=Attribute(
+                        name=entry["name"],
+                        dtype=DataType(entry.get("dtype", "unknown")),
+                        description=entry.get("description", ""),
+                    ),
+                )
+            )
+        elif kind == "rename":
+            operations.append(
+                RenameColumn(
+                    ref=AttributeRef.parse(entry["ref"]), new_name=entry["new_name"]
+                )
+            )
+        elif kind == "retype":
+            operations.append(
+                RetypeColumn(
+                    ref=AttributeRef.parse(entry["ref"]),
+                    new_dtype=DataType(entry["dtype"]),
+                )
+            )
+        elif kind == "drop":
+            operations.append(DropColumn(ref=AttributeRef.parse(entry["ref"])))
+        else:
+            raise DriftError(f"unknown drift operation kind: {kind!r}")
+    return SchemaDelta(operations=tuple(operations))

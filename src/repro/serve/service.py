@@ -337,6 +337,23 @@ class ServeService:
             self.admission.close_session(handle.session_id)
             self.stats.sessions_closed += 1
 
+    def apply_drift(self, handle: SessionHandle, session, delta):
+        """Apply a schema delta to a live session's matcher.
+
+        ``session`` is the caller's :class:`~repro.core.session.MatchingSession`
+        backing this handle (the service holds only opaque tickets).  The
+        delta runs under the session's own lock, so it serialises against the
+        session's predict/label traffic; requests already submitted to the
+        serving plane are untouched -- they carry their own encoded pairs and
+        pinned model version, so in-flight scoring completes against the
+        pre-drift pair set regardless.
+        """
+        if not self.admission.is_active(handle.session_id):
+            raise AdmissionError(f"session {handle.session_id!r} is not open")
+        report = session.apply_delta(delta)
+        self.stats.drifts_applied += 1
+        return report
+
     # -- request path -----------------------------------------------------------
 
     def submit_nowait(

@@ -32,6 +32,8 @@ class ServeStats:
     requests_completed: int = 0
     requests_failed: int = 0
     requests_rejected: int = 0
+    #: Schema deltas applied to live sessions through ``apply_drift``.
+    drifts_applied: int = 0
 
     # -- coalescing ------------------------------------------------------------
     pairs_submitted: int = 0
@@ -78,6 +80,7 @@ class ServeStats:
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
             "requests_rejected": self.requests_rejected,
+            "drifts_applied": self.drifts_applied,
             "pairs_submitted": self.pairs_submitted,
             "pairs_scored": self.pairs_scored,
             "batches": self.batches,

@@ -136,6 +136,7 @@ class TestMatcherTracerLifecycle:
         )
         try:
             assert matcher.metrics.names() == [
+                "drift",
                 "engine",
                 "pipeline",
                 "retrieval",

@@ -1,0 +1,209 @@
+"""Tests for the schema-drift delta model (`repro.schema.drift`)."""
+
+import pytest
+
+from repro.schema import (
+    AddColumn,
+    Attribute,
+    AttributeRef,
+    DataType,
+    DriftError,
+    DropColumn,
+    RenameColumn,
+    RetypeColumn,
+    SchemaDelta,
+    apply_delta,
+    delta_from_dict,
+    delta_to_dict,
+    remap_ground_truth,
+)
+
+from ..conftest import make_ground_truth, make_source_schema
+
+
+def ref(text: str) -> AttributeRef:
+    return AttributeRef.parse(text)
+
+
+class TestApplyDelta:
+    def test_input_schema_is_untouched(self, source_schema):
+        before = source_schema.attribute_refs()
+        apply_delta(
+            source_schema,
+            SchemaDelta((RenameColumn(ref("Orders.qty"), "quantity"),)),
+        )
+        assert source_schema.attribute_refs() == before
+
+    def test_rename_preserves_dtype_description_and_order(self):
+        schema = make_source_schema()
+        evolved, effect = apply_delta(
+            schema, SchemaDelta((RenameColumn(ref("Orders.disc"), "discount"),))
+        )
+        old = schema.attribute(ref("Orders.disc"))
+        new = evolved.attribute(ref("Orders.discount"))
+        assert new.dtype is old.dtype
+        assert new.description == old.description
+        assert not evolved.has_attribute(ref("Orders.disc"))
+        # Declaration order is stable: only the name changed.
+        assert [r.attribute for r in evolved.entity("Orders").attribute_refs()] == [
+            "order_id",
+            "item_id",
+            "qty",
+            "discount",
+            "order_date",
+        ]
+        assert effect.renamed == {ref("Orders.disc"): ref("Orders.discount")}
+
+    def test_primary_key_follows_rename(self):
+        evolved, _ = apply_delta(
+            make_source_schema(),
+            SchemaDelta((RenameColumn(ref("Item.item_id"), "item_key"),)),
+        )
+        assert evolved.entity("Item").primary_key == "item_key"
+
+    def test_relationships_follow_renames(self):
+        evolved, _ = apply_delta(
+            make_source_schema(),
+            SchemaDelta((RenameColumn(ref("Item.item_id"), "item_key"),)),
+        )
+        (relationship,) = evolved.relationships
+        assert relationship.parent == ref("Item.item_key")
+        # The child side keeps its own (unrenamed) name.
+        assert relationship.child == ref("Orders.item_id")
+
+    def test_drop_clears_pk_and_relationships(self):
+        evolved, effect = apply_delta(
+            make_source_schema(),
+            SchemaDelta((DropColumn(ref("Item.item_id")),)),
+        )
+        assert evolved.entity("Item").primary_key is None
+        assert evolved.relationships == []
+        assert effect.dropped == [ref("Item.item_id")]
+
+    def test_retype_records_old_and_new(self):
+        evolved, effect = apply_delta(
+            make_source_schema(),
+            SchemaDelta((RetypeColumn(ref("Orders.qty"), DataType.INTEGER),)),
+        )
+        assert evolved.attribute(ref("Orders.qty")).dtype is DataType.INTEGER
+        assert effect.retyped == {
+            ref("Orders.qty"): (DataType.DECIMAL, DataType.INTEGER)
+        }
+
+    def test_add_column(self):
+        added = Attribute("loyalty_tier", DataType.STRING, "customer tier")
+        evolved, effect = apply_delta(
+            make_source_schema(), SchemaDelta((AddColumn("Orders", added),))
+        )
+        assert evolved.attribute(ref("Orders.loyalty_tier")) == added
+        assert effect.added == [ref("Orders.loyalty_tier")]
+
+    def test_operations_apply_sequentially(self):
+        # Rename then retype under the *new* name, in one delta.
+        evolved, effect = apply_delta(
+            make_source_schema(),
+            SchemaDelta(
+                (
+                    RenameColumn(ref("Orders.qty"), "quantity"),
+                    RetypeColumn(ref("Orders.quantity"), DataType.INTEGER),
+                )
+            ),
+        )
+        assert evolved.attribute(ref("Orders.quantity")).dtype is DataType.INTEGER
+        # The retyped key is the post-rename ref.
+        assert set(effect.retyped) == {ref("Orders.quantity")}
+
+    @pytest.mark.parametrize(
+        "operation",
+        [
+            RenameColumn(ref("Orders.nope"), "x"),
+            RenameColumn(ref("Orders.qty"), "qty"),
+            RenameColumn(ref("Orders.qty"), "disc"),
+            RetypeColumn(ref("Orders.qty"), DataType.DECIMAL),
+            RetypeColumn(ref("Orders.nope"), DataType.STRING),
+            DropColumn(ref("Orders.nope")),
+            AddColumn("Orders", Attribute("qty", DataType.INTEGER)),
+            AddColumn("Ghost", Attribute("x", DataType.STRING)),
+        ],
+        ids=[
+            "rename-unknown",
+            "rename-noop",
+            "rename-collision",
+            "retype-noop",
+            "retype-unknown",
+            "drop-unknown",
+            "add-duplicate",
+            "unknown-entity",
+        ],
+    )
+    def test_invalid_operations_raise(self, operation):
+        with pytest.raises(DriftError):
+            apply_delta(make_source_schema(), SchemaDelta((operation,)))
+
+    def test_cannot_drop_last_column(self):
+        from repro.schema import Entity, Schema
+
+        schema = Schema("one", [Entity("E", [Attribute("only")])])
+        with pytest.raises(DriftError, match="last column"):
+            apply_delta(schema, SchemaDelta((DropColumn(ref("E.only")),)))
+
+    def test_effect_ref_sets(self):
+        _, effect = apply_delta(
+            make_source_schema(),
+            SchemaDelta(
+                (
+                    RenameColumn(ref("Orders.qty"), "quantity"),
+                    DropColumn(ref("Orders.disc")),
+                    AddColumn("Item", Attribute("upc", DataType.STRING)),
+                )
+            ),
+        )
+        assert effect.stale_refs == {ref("Orders.qty"), ref("Orders.disc")}
+        assert effect.text_changed == {ref("Orders.quantity"), ref("Item.upc")}
+
+
+class TestRemapGroundTruth:
+    def test_rename_and_drop(self):
+        truth = make_ground_truth()
+        _, effect = apply_delta(
+            make_source_schema(),
+            SchemaDelta(
+                (
+                    RenameColumn(ref("Orders.qty"), "quantity"),
+                    DropColumn(ref("Orders.disc")),
+                )
+            ),
+        )
+        remapped = remap_ground_truth(truth, effect)
+        assert remapped[ref("Orders.quantity")] == truth[ref("Orders.qty")]
+        assert ref("Orders.qty") not in remapped
+        assert ref("Orders.disc") not in remapped
+        assert len(remapped) == len(truth) - 1
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        delta = SchemaDelta(
+            (
+                AddColumn("Orders", Attribute("upc", DataType.STRING, "barcode")),
+                RenameColumn(ref("Orders.qty"), "quantity"),
+                RetypeColumn(ref("Orders.disc"), DataType.FLOAT),
+                DropColumn(ref("Orders.order_date")),
+            )
+        )
+        assert delta_from_dict(delta_to_dict(delta)) == delta
+
+    def test_describe_and_counts(self):
+        delta = SchemaDelta(
+            (
+                RenameColumn(ref("Orders.qty"), "quantity"),
+                DropColumn(ref("Orders.disc")),
+            )
+        )
+        assert delta.describe() == "rename Orders.qty -> quantity; drop Orders.disc"
+        assert delta.counts() == {"rename": 1, "drop": 1}
+        assert len(delta) == 2
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(DriftError):
+            delta_from_dict({"operations": [{"op": "explode", "ref": "A.b"}]})

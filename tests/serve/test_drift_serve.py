@@ -1,0 +1,114 @@
+"""Schema drift against the serving plane.
+
+`ServeService.apply_drift` mutates a live session's matcher under the
+session lock while the service keeps scoring: in-flight requests carry
+their own encoded pairs and pinned model version, so drift landing
+between submit and completion must not change a single score.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroundTruthOracle,
+    LearnedSchemaMatcher,
+    LsmConfig,
+    MatchingSession,
+)
+from repro.featurizers.bert import BertFeaturizerConfig
+from repro.schema import AttributeRef, RenameColumn, SchemaDelta
+from repro.serve import AdmissionError, ServeConfig, ServeService
+
+from .conftest import make_pairs
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_config(**overrides) -> ServeConfig:
+    defaults = dict(max_sessions=4, max_inflight_per_session=4, max_wait_s=0.005)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+@pytest.fixture()
+def matching_session(source_schema, target_schema, tiny_artifacts, ground_truth):
+    config = LsmConfig(
+        bert=BertFeaturizerConfig(
+            max_length=24, pretrain_epochs=1, update_epochs=1, batch_size=16, seed=0
+        ),
+        update_bert_every=10**9,
+        seed=0,
+    )
+    matcher = LearnedSchemaMatcher(
+        source_schema, target_schema, config=config, artifacts=tiny_artifacts
+    )
+    oracle = GroundTruthOracle(ground_truth, target_schema)
+    with MatchingSession(matcher, oracle) as session:
+        yield session
+
+
+RENAME_DELTA = SchemaDelta(
+    (RenameColumn(AttributeRef("Orders", "qty"), "quantity_sold"),)
+)
+
+
+class TestApplyDrift:
+    def test_drift_on_live_session(self, tenant_stack, matching_session):
+        async def scenario():
+            async with ServeService(small_config()) as service:
+                service.register_tenant("t0", *tenant_stack)
+                handle = service.open_session("t0")
+                matching_session.predict()
+                report = service.apply_drift(handle, matching_session, RENAME_DELTA)
+                assert service.stats.drifts_applied == 1
+                assert "drifts_applied" in service.stats.as_dict()
+                assert report.store.labels_dropped == 0
+                # The session keeps serving against the evolved schema.
+                predictions = matching_session.predict()
+                assert (
+                    AttributeRef("Orders", "quantity_sold") in predictions.suggestions
+                )
+
+        run(scenario())
+
+    def test_drift_requires_open_session(self, tenant_stack, matching_session):
+        async def scenario():
+            async with ServeService(small_config()) as service:
+                service.register_tenant("t0", *tenant_stack)
+                handle = service.open_session("t0")
+                service.close_session(handle)
+                with pytest.raises(AdmissionError, match="not open"):
+                    service.apply_drift(handle, matching_session, RENAME_DELTA)
+                assert service.stats.drifts_applied == 0
+
+        run(scenario())
+
+    def test_inflight_requests_pinned_across_drift(
+        self, tenant_stack, matching_session
+    ):
+        """Requests submitted before the drift score identically to a run
+        with no drift at all: the serving plane's pairs are pinned."""
+        pairs = [make_pairs(seed, 3) for seed in range(4)]
+
+        async def scenario(drift: bool) -> list[np.ndarray]:
+            # Long max_wait keeps the requests queued until flush, so the
+            # drift (when enabled) lands while they are in flight.
+            async with ServeService(small_config(max_wait_s=5.0)) as service:
+                service.register_tenant("t0", *tenant_stack)
+                handle = service.open_session("t0")
+                futures = [service.submit_nowait(handle, batch) for batch in pairs]
+                if drift:
+                    service.apply_drift(handle, matching_session, RENAME_DELTA)
+                await service.flush()
+                return list(await asyncio.gather(*futures))
+
+        drifted = run(scenario(drift=True))
+        control = run(scenario(drift=False))
+        for got, expected in zip(drifted, control):
+            np.testing.assert_array_equal(got, expected)

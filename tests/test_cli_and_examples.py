@@ -37,6 +37,32 @@ class TestCli:
         with pytest.raises(SystemExit):
             parser.parse_args(["baselines", "bogus"])
 
+    def test_drift_replay_parses(self, tmp_path):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "drift",
+                "replay",
+                "--dataset",
+                "customer_a",
+                "--deltas",
+                "2",
+                "--ops",
+                "3",
+                "--seed",
+                "1",
+                "--fast",
+                "--trace",
+                str(tmp_path / "drift.ndjson"),
+            ]
+        )
+        assert args.command == "drift"
+        assert args.action == "replay"
+        assert args.deltas == 2 and args.ops == 3 and args.seed == 1
+        assert args.fast
+        with pytest.raises(SystemExit):
+            parser.parse_args(["drift", "bogus"])
+
     def test_stats_runs(self, capsys):
         from repro.cli import main
 

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test parity test-serve-slow test-autotune-slow quant-gate bench-engine bench-engine-quant bench-train bench-serving bench-serve bench-retrieval bench-drift trace-smoke
+.PHONY: verify test parity test-serve-slow test-autotune-slow quant-gate bench-engine bench-engine-quant bench-train bench-serving bench-serve bench-retrieval bench-drift bench-encode trace-smoke
 
 ## Tier-1 gate: full test suite, then the engine parity suite explicitly
 ## (it is part of tests/, the second run pins it even if testpaths change).
@@ -64,6 +64,12 @@ bench-retrieval:
 ## zero re-runs for drop-only deltas; emits BENCH_drift.json at the root.
 bench-drift:
 	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_drift.py
+
+## Encode-plane smoke (tier-2): per-pair encode vs pooled batch assembly
+## from cached attribute halves on an encode-dominated 10x-ISS workload;
+## gates bit-exact chunk parity and >= 3x speedup; emits BENCH_encode.json.
+bench-encode:
+	REPRO_SKIP_WARM=1 $(PYTHON) -m pytest -q benchmarks/test_encode.py
 
 ## Observability smoke (tier-2): traced session on customer A, NDJSON
 ## well-formedness + iteration parity + `repro trace summarize` rendering.

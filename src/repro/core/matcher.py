@@ -166,6 +166,7 @@ class LearnedSchemaMatcher:
         if self.bert_featurizer is not None:
             self.metrics.register("engine", self.bert_featurizer.engine.stats)
             self.metrics.register("train", self.bert_featurizer.train_stats)
+            self.metrics.register("encode", self.bert_featurizer.encode_stats_payload)
         self.metrics.register("pipeline", self.pipeline.timings)
         self.metrics.register("retrieval", self.retrieval_stats)
         self.metrics.register("drift", self.drift_stats)
@@ -465,6 +466,12 @@ class LearnedSchemaMatcher:
         if self.bert_featurizer is not None:
             payload.update(self.bert_featurizer.engine.stats.as_dict())
             payload.update(self.bert_featurizer.engine.serving_info())
+            payload.update(
+                {
+                    f"encode.{key}": value
+                    for key, value in self.bert_featurizer.encode_stats_payload().items()
+                }
+            )
         for name, seconds in self.pipeline.timings().items():
             payload[f"pipeline.{name}"] = round(seconds, 6)
         return payload

@@ -19,6 +19,7 @@ from .autotune import FLOAT32_DECISION, KernelAutotuner, machine_fingerprint, sh
 from .batching import (
     MicroBatch,
     bucket_key,
+    plan_bucket_chunks,
     plan_microbatches,
     plan_num_buckets,
     split_batch,
@@ -62,6 +63,7 @@ __all__ = [
     "live_segment_names",
     "machine_fingerprint",
     "make_worker_payload",
+    "plan_bucket_chunks",
     "plan_microbatches",
     "plan_num_buckets",
     "shape_key",

@@ -19,6 +19,7 @@ equivalent to the single stacked batch -- the parity suite
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -46,6 +47,37 @@ def bucket_key(length: int, granularity: int) -> int:
     return ((length + granularity - 1) // granularity) * granularity
 
 
+def plan_bucket_chunks(
+    lengths: Sequence[int],
+    microbatch_size: int = 64,
+    bucket_granularity: int = 8,
+) -> list[tuple[int, list[int]]]:
+    """The batch layout on *lengths* alone: ``(padded_length, indices)`` chunks.
+
+    This is the planning half of :func:`plan_microbatches`, decoupled from
+    the encoded arrays so the encode plane (:mod:`repro.lm.encode_plane`)
+    can plan from its cached half lengths and assemble each chunk directly
+    into pooled buffers -- no per-pair ``attention_mask.sum()``, no
+    ``stack_encoded``.  Shorter buckets come first; within a bucket the
+    caller's order is preserved; every index appears in exactly one chunk.
+    """
+    if microbatch_size < 1:
+        raise ValueError(f"microbatch_size must be >= 1, got {microbatch_size}")
+    if bucket_granularity < 1:
+        raise ValueError(f"bucket_granularity must be >= 1, got {bucket_granularity}")
+    buckets: dict[int, list[int]] = {}
+    for index, length in enumerate(lengths):
+        key = bucket_key(int(length), bucket_granularity)
+        buckets.setdefault(key, []).append(index)
+
+    chunks: list[tuple[int, list[int]]] = []
+    for padded in sorted(buckets):
+        members = buckets[padded]
+        for start in range(0, len(members), microbatch_size):
+            chunks.append((padded, members[start : start + microbatch_size]))
+    return chunks
+
+
 def plan_microbatches(
     encoded: list[EncodedPair],
     microbatch_size: int = 64,
@@ -57,22 +89,15 @@ def plan_microbatches(
     bucket the caller's order is preserved.  Every input index appears in
     exactly one micro-batch.
     """
-    if microbatch_size < 1:
-        raise ValueError(f"microbatch_size must be >= 1, got {microbatch_size}")
-    if bucket_granularity < 1:
-        raise ValueError(f"bucket_granularity must be >= 1, got {bucket_granularity}")
-    buckets: dict[int, list[int]] = {}
-    for index, pair in enumerate(encoded):
-        key = bucket_key(encoded_length(pair), bucket_granularity)
-        buckets.setdefault(key, []).append(index)
-
+    chunks = plan_bucket_chunks(
+        [encoded_length(pair) for pair in encoded],
+        microbatch_size=microbatch_size,
+        bucket_granularity=bucket_granularity,
+    )
     plan: list[MicroBatch] = []
-    for padded in sorted(buckets):
-        members = buckets[padded]
-        for start in range(0, len(members), microbatch_size):
-            chunk = members[start : start + microbatch_size]
-            stacked = stack_encoded([encoded[i] for i in chunk])
-            plan.append(MicroBatch(tuple(chunk), trim_encoded(stacked, padded)))
+    for padded, chunk in chunks:
+        stacked = stack_encoded([encoded[i] for i in chunk])
+        plan.append(MicroBatch(tuple(chunk), trim_encoded(stacked, padded)))
     return plan
 
 

@@ -38,7 +38,7 @@ import numpy as np
 from .. import obs
 from ..lm.tokenizer import EncodedPair
 from . import shm
-from .batching import plan_microbatches, plan_num_buckets
+from .batching import MicroBatch, plan_bucket_chunks, plan_microbatches, plan_num_buckets
 from .executor import MicroBatchExecutor, make_worker_payload
 from .stats import EngineStats
 
@@ -551,6 +551,80 @@ class ScoringEngine:
                         value = float(probability)
                         scores[index] = value
                         self._scores[fingerprints[index]] = value
+                self._save_persisted()
+        return scores
+
+    def score_halves(self, halves, plane) -> np.ndarray:
+        """Scores for pairs given as cached halves, assembled zero-copy.
+
+        The encode-plane fast path of :meth:`score_encoded`: ``halves`` is a
+        list of :class:`repro.lm.encode_plane.PairHalves` and ``plane`` the
+        :class:`~repro.lm.encode_plane.EncodePlane` that produced them.
+        Fingerprints are computed digest-parity from the halves (so the
+        in-memory and persisted score caches are shared with the sequential
+        path), bucket planning reads the precomputed half lengths, and each
+        dirty micro-batch is assembled directly into a pooled buffer --
+        released back to the pool once the serving ladder returns.
+        """
+        self.stats.scoring_calls += 1
+        count = len(halves)
+        self.stats.pairs_requested += count
+        if count == 0:
+            return np.zeros(0, dtype=np.float64)
+        with obs.span(
+            "engine.score", pairs=count, version=self._version
+        ) as score_span:
+            self.model.eval()
+            self.classifier.eval()
+
+            with self.stats.timer("fingerprint"):
+                fingerprints = [plane.fingerprint(pair) for pair in halves]
+            self._load_persisted()
+
+            scores = np.empty(count, dtype=np.float64)
+            dirty: list[int] = []
+            for index, fingerprint in enumerate(fingerprints):
+                cached = self._scores.get(fingerprint)
+                if cached is None:
+                    dirty.append(index)
+                else:
+                    scores[index] = cached
+            self.stats.pairs_skipped += count - len(dirty)
+            self.stats.pairs_scored += len(dirty)
+            score_span.set(dirty=len(dirty), skipped=count - len(dirty))
+
+            if dirty:
+                with self.stats.timer("bucket"):
+                    chunks = plan_bucket_chunks(
+                        [halves[i].length for i in dirty],
+                        microbatch_size=self.config.microbatch_size,
+                        bucket_granularity=self.config.bucket_granularity,
+                    )
+                    plan = [
+                        MicroBatch(
+                            tuple(chunk),
+                            plane.assemble(
+                                [halves[dirty[i]] for i in chunk], pad_to=padded
+                            ),
+                        )
+                        for padded, chunk in chunks
+                    ]
+                self.stats.buckets += plan_num_buckets(plan)
+                self.stats.microbatches += len(plan)
+                score_span.set(microbatches=len(plan))
+                try:
+                    results = self._score_plan(plan)
+                    for microbatch, probabilities in zip(plan, results):
+                        for position, probability in zip(
+                            microbatch.indices, probabilities
+                        ):
+                            index = dirty[position]
+                            value = float(probability)
+                            scores[index] = value
+                            self._scores[fingerprints[index]] = value
+                finally:
+                    for microbatch in plan:
+                        plane.release(microbatch.batch)
                 self._save_persisted()
         return scores
 

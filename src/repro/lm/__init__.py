@@ -10,7 +10,17 @@ from .vocab import (
     WordPieceVocab,
     build_vocab,
 )
-from .tokenizer import EncodedPair, WordPieceTokenizer, stack_encoded
+from .tokenizer import EncodedPair, WordPieceTokenizer, encoded_length, stack_encoded
+from .encode_plane import (
+    AttributeTokenStore,
+    BatchBufferPool,
+    EncodePlane,
+    EncodeStats,
+    LruDict,
+    PairHalves,
+    token_key,
+    truncate_pair_lengths,
+)
 from .config import BertConfig
 from .attention import MultiHeadSelfAttention, UnfusedAttentionReference
 from .encoder import TransformerBlock
@@ -26,16 +36,22 @@ from .mlm import (
 from . import cache
 
 __all__ = [
+    "AttributeTokenStore",
+    "BatchBufferPool",
     "BertConfig",
     "CLS_TOKEN",
+    "EncodePlane",
+    "EncodeStats",
     "EncodedPair",
     "IGNORE_INDEX",
+    "LruDict",
     "MASK_TOKEN",
     "MiniBert",
     "MlmHead",
     "MlmTrainResult",
     "MultiHeadSelfAttention",
     "PAD_TOKEN",
+    "PairHalves",
     "SEP_TOKEN",
     "SPECIAL_TOKENS",
     "TransformerBlock",
@@ -45,8 +61,11 @@ __all__ = [
     "WordPieceVocab",
     "build_vocab",
     "cache",
+    "encoded_length",
     "mask_tokens",
     "mask_tokens_with_redraw",
     "pretrain_mlm",
     "stack_encoded",
+    "token_key",
+    "truncate_pair_lengths",
 ]

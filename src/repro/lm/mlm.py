@@ -179,11 +179,9 @@ def pretrain_mlm(
     optimizer = Adam(parameters, lr=lr)
 
     with stats.timer("encode"):
-        encoded = [
-            tokenizer.encode_single(list(sentence), max_length=max_length)
-            for sentence in corpus
-            if sentence
-        ]
+        encoded = tokenizer.encode_singles(
+            [sentence for sentence in corpus if sentence], max_length=max_length
+        )
     if not encoded:
         raise ValueError("corpus is empty")
 

@@ -1,4 +1,4 @@
-"""BERT-style tokeniser: greedy longest-match WordPiece + pair encoding.
+"""BERT-style tokeniser: trie longest-match WordPiece + pair encoding.
 
 Builds the model inputs the paper describes (§IV-C1): for a candidate pair
 ``(a_s, a_t)`` the input sentence is
@@ -7,73 +7,138 @@ Builds the model inputs the paper describes (§IV-C1): for a candidate pair
 
 with segment ids 0 for the first span (incl. [CLS] and the first [SEP]) and
 1 for the second, and an attention mask that is 0 on padding.
+
+WordPiece here is greedy longest-match-first, implemented as a single
+left-to-right walk over the vocabulary's prefix tries
+(:attr:`repro.lm.vocab.WordPieceVocab.initial_trie`) instead of the classic
+O(L^2) shrinking-substring probe; a bounded per-word memo makes repeated
+words (schema vocabularies repeat heavily) a dict hit.  The batched
+zero-copy encode path lives in :mod:`repro.lm.encode_plane`; the per-pair
+functions below remain the sequential reference it is held bit-exact to.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..text.tokenize import name_and_description_tokens
-from .vocab import WordPieceVocab
+from .vocab import WordPieceVocab, trie_longest_match
+
+#: Default bound on the tokenizer's per-word memo (word -> piece ids).
+WORD_CACHE_CAPACITY = 16384
+
+
+def checks_enabled() -> bool:
+    """Whether expensive redundant invariant checks are on (``REPRO_CHECKS=1``)."""
+    return bool(os.environ.get("REPRO_CHECKS"))
 
 
 @dataclass
 class EncodedPair:
-    """A batch-ready encoded input: ids, segment ids and attention mask."""
+    """A batch-ready encoded input: ids, segment ids and attention mask.
+
+    ``length`` optionally carries the precomputed number of real
+    (non-padding) tokens of an *unbatched* pair, so bucket planning does not
+    re-sum ``attention_mask`` on every call; ``None`` falls back to the sum.
+    """
 
     input_ids: np.ndarray
     segment_ids: np.ndarray
     attention_mask: np.ndarray
+    length: int | None = None
 
     def __len__(self) -> int:
+        if self.length is not None:
+            return self.length
         return int(self.attention_mask.sum())
 
 
 class WordPieceTokenizer:
     """Greedy longest-match-first WordPiece tokenisation over a vocabulary."""
 
-    def __init__(self, vocab: WordPieceVocab, max_word_length: int = 64) -> None:
+    def __init__(
+        self,
+        vocab: WordPieceVocab,
+        max_word_length: int = 64,
+        word_cache_capacity: int = WORD_CACHE_CAPACITY,
+    ) -> None:
         self.vocab = vocab
         self.max_word_length = max_word_length
+        #: Bounded memo: word -> tuple of piece ids (LRU eviction).
+        self._word_ids: OrderedDict[str, tuple[int, ...]] = OrderedDict()
+        self._word_cache_capacity = max(0, int(word_cache_capacity))
+        #: Memo hits/misses, folded into encode-plane stats when wired.
+        self.word_cache_hits = 0
+        self.word_cache_misses = 0
+
+    # -- word tokenisation -------------------------------------------------------
+
+    def _word_piece_ids(self, word: str) -> tuple[int, ...]:
+        """Piece ids of one word via the trie walk (uncached reference)."""
+        vocab = self.vocab
+        if len(word) > self.max_word_length:
+            return (vocab.unk_id,)
+        whole = vocab.token_to_id.get(word)
+        if whole is not None:
+            return (whole,)
+        initial = vocab.initial_trie
+        continuation = vocab.continuation_trie
+        ids: list[int] = []
+        start = 0
+        length = len(word)
+        while start < length:
+            root = initial if start == 0 else continuation
+            end, piece_id = trie_longest_match(root, word, start)
+            if end < 0:
+                return (vocab.unk_id,)
+            ids.append(piece_id)
+            start = end
+        return tuple(ids)
+
+    def word_ids(self, word: str) -> tuple[int, ...]:
+        """Memoised piece ids of one word."""
+        if not word:
+            return ()
+        cached = self._word_ids.get(word)
+        if cached is not None:
+            self.word_cache_hits += 1
+            self._word_ids.move_to_end(word)
+            return cached
+        self.word_cache_misses += 1
+        ids = self._word_piece_ids(word)
+        self._word_ids[word] = ids
+        if len(self._word_ids) > self._word_cache_capacity:
+            self._word_ids.popitem(last=False)
+        return ids
 
     def tokenize_word(self, word: str) -> list[str]:
         """Split one word into pieces; [UNK] if any character is unknown."""
-        if not word:
-            return []
-        if len(word) > self.max_word_length:
-            return ["[UNK]"]
-        if word in self.vocab:
-            return [word]
-        pieces: list[str] = []
-        start = 0
-        while start < len(word):
-            end = len(word)
-            piece = None
-            while end > start:
-                candidate = word[start:end]
-                if start > 0:
-                    candidate = f"##{candidate}"
-                if candidate in self.vocab:
-                    piece = candidate
-                    break
-                end -= 1
-            if piece is None:
-                return ["[UNK]"]
-            pieces.append(piece)
-            start = end
-        return pieces
+        tokens = self.vocab.tokens
+        return [tokens[piece_id] for piece_id in self.word_ids(word)]
 
     def tokenize(self, words: list[str]) -> list[str]:
         """WordPiece-tokenise a list of words."""
-        pieces: list[str] = []
-        for word in words:
-            pieces.extend(self.tokenize_word(word))
-        return pieces
+        tokens = self.vocab.tokens
+        return [tokens[piece_id] for word in words for piece_id in self.word_ids(word)]
 
     def ids(self, words: list[str]) -> list[int]:
-        return [self.vocab.id_of(piece) for piece in self.tokenize(words)]
+        return [piece_id for word in words for piece_id in self.word_ids(word)]
+
+    def ids_array(self, words: Sequence[str]) -> np.ndarray:
+        """Piece ids of a word sequence as an int64 array."""
+        return np.asarray(
+            [piece_id for word in words for piece_id in self.word_ids(word)],
+            dtype=np.int64,
+        )
+
+    def tokenize_many(self, word_lists: Sequence[Sequence[str]]) -> list[np.ndarray]:
+        """Batch API: one int64 id array per word list (memo shared across rows)."""
+        return [self.ids_array(words) for words in word_lists]
 
     # -- pair encoding ---------------------------------------------------------
 
@@ -101,7 +166,8 @@ class WordPieceTokenizer:
         input_ids = [self.vocab.cls_id] + ids_a + [self.vocab.sep_id] + ids_b + [self.vocab.sep_id]
         segment_ids = [0] * (len(ids_a) + 2) + [1] * (len(ids_b) + 1)
         attention = [1] * len(input_ids)
-        padding = max_length - len(input_ids)
+        real = len(input_ids)
+        padding = max_length - real
         input_ids.extend([self.vocab.pad_id] * padding)
         segment_ids.extend([0] * padding)
         attention.extend([0] * padding)
@@ -109,6 +175,7 @@ class WordPieceTokenizer:
             input_ids=np.asarray(input_ids, dtype=np.int64),
             segment_ids=np.asarray(segment_ids, dtype=np.int64),
             attention_mask=np.asarray(attention, dtype=np.int64),
+            length=real,
         )
 
     def encode_single(self, words: list[str], max_length: int = 64) -> EncodedPair:
@@ -117,7 +184,8 @@ class WordPieceTokenizer:
         input_ids = [self.vocab.cls_id] + ids + [self.vocab.sep_id]
         segment_ids = [0] * len(input_ids)
         attention = [1] * len(input_ids)
-        padding = max_length - len(input_ids)
+        real = len(input_ids)
+        padding = max_length - real
         input_ids.extend([self.vocab.pad_id] * padding)
         segment_ids.extend([0] * padding)
         attention.extend([0] * padding)
@@ -125,7 +193,39 @@ class WordPieceTokenizer:
             input_ids=np.asarray(input_ids, dtype=np.int64),
             segment_ids=np.asarray(segment_ids, dtype=np.int64),
             attention_mask=np.asarray(attention, dtype=np.int64),
+            length=real,
         )
+
+    def encode_singles(
+        self, sentences: Sequence[Sequence[str]], max_length: int = 64
+    ) -> list[EncodedPair]:
+        """Vectorised :meth:`encode_single` over many sentences.
+
+        Tokenises through the shared word memo and fills each row's arrays
+        with slice writes instead of building Python token lists -- the MLM
+        pre-training encode stage.  Bit-exact with per-sentence
+        :meth:`encode_single`.
+        """
+        cls_id, sep_id, pad_id = self.vocab.cls_id, self.vocab.sep_id, self.vocab.pad_id
+        encoded: list[EncodedPair] = []
+        for sentence in sentences:
+            ids = self.ids_array(sentence)[: max_length - 2]
+            real = int(ids.size) + 2
+            input_ids = np.full(max_length, pad_id, dtype=np.int64)
+            input_ids[0] = cls_id
+            input_ids[1 : real - 1] = ids
+            input_ids[real - 1] = sep_id
+            attention = np.zeros(max_length, dtype=np.int64)
+            attention[:real] = 1
+            encoded.append(
+                EncodedPair(
+                    input_ids=input_ids,
+                    segment_ids=np.zeros(max_length, dtype=np.int64),
+                    attention_mask=attention,
+                    length=real,
+                )
+            )
+        return encoded
 
     def encode_attribute_pair(
         self,
@@ -155,9 +255,24 @@ def stack_encoded(pairs: list[EncodedPair]) -> EncodedPair:
 
 
 def encoded_length(pair: EncodedPair) -> int:
-    """Number of real (non-padding) tokens of one unbatched encoded pair."""
+    """Number of real (non-padding) tokens of one unbatched encoded pair.
+
+    Served from the pair's precomputed ``length`` when present (the encode
+    plane and both ``encode_*`` constructors set it), falling back to an
+    ``attention_mask`` sum.  ``REPRO_CHECKS=1`` re-derives the sum and
+    asserts the two agree.
+    """
     if pair.input_ids.ndim != 1:
         raise ValueError("encoded_length expects an unbatched EncodedPair")
+    if pair.length is not None:
+        if checks_enabled():
+            derived = int(pair.attention_mask.sum())
+            if derived != pair.length:
+                raise AssertionError(
+                    f"EncodedPair.length={pair.length} disagrees with "
+                    f"attention_mask.sum()={derived}"
+                )
+        return pair.length
     return int(pair.attention_mask.sum())
 
 

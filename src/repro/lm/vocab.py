@@ -32,6 +32,42 @@ MASK_TOKEN = "[MASK]"
 SPECIAL_TOKENS = [PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN]
 
 
+#: Key under which a trie node stores the id of the piece ending there.
+#: Children are keyed by single characters, so the empty string never
+#: collides with a child edge.
+_TRIE_PIECE = ""
+
+
+def _trie_insert(root: dict, text: str, piece_id: int) -> None:
+    node = root
+    for char in text:
+        node = node.setdefault(char, {})
+    node[_TRIE_PIECE] = piece_id
+
+
+def trie_longest_match(root: dict, word: str, start: int) -> tuple[int, int]:
+    """Longest vocabulary piece starting at ``word[start:]``.
+
+    Returns ``(end, piece_id)`` where ``end`` is the exclusive end index of
+    the longest matching piece, or ``(-1, -1)`` when no piece matches.  A
+    single left-to-right walk replaces the O(L^2) shrinking-substring probe
+    of greedy WordPiece: the last node carrying a piece id on the path is,
+    by construction, the longest match.
+    """
+    node = root
+    best_end = -1
+    best_id = -1
+    for index in range(start, len(word)):
+        node = node.get(word[index])
+        if node is None:
+            break
+        piece_id = node.get(_TRIE_PIECE)
+        if piece_id is not None:
+            best_end = index + 1
+            best_id = piece_id
+    return best_end, best_id
+
+
 class WordPieceVocab:
     """An ordered token -> id mapping with BERT-style special tokens."""
 
@@ -43,6 +79,42 @@ class WordPieceVocab:
         self.token_to_id: dict[str, int] = {token: i for i, token in enumerate(self.tokens)}
         if len(self.token_to_id) != len(self.tokens):
             raise ValueError("duplicate tokens in vocabulary")
+        #: Prefix tries for longest-match WordPiece, built lazily: one over
+        #: every token verbatim (word-initial positions) and one over the
+        #: ``##``-stripped continuation pieces (word-internal positions).
+        self._initial_trie: dict | None = None
+        self._continuation_trie: dict | None = None
+
+    @property
+    def initial_trie(self) -> dict:
+        """Trie over all tokens verbatim, for matches at word start."""
+        if self._initial_trie is None:
+            root: dict = {}
+            for piece_id, token in enumerate(self.tokens):
+                _trie_insert(root, token, piece_id)
+            self._initial_trie = root
+        return self._initial_trie
+
+    @property
+    def continuation_trie(self) -> dict:
+        """Trie over ``##``-prefixed tokens (stripped), for internal matches."""
+        if self._continuation_trie is None:
+            root = {}
+            for piece_id, token in enumerate(self.tokens):
+                if token.startswith("##") and len(token) > 2:
+                    _trie_insert(root, token[2:], piece_id)
+            self._continuation_trie = root
+        return self._continuation_trie
+
+    def fingerprint(self) -> str:
+        """Content hash of the token list (keys persisted token caches)."""
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        for token in self.tokens:
+            digest.update(token.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def __len__(self) -> int:
         return len(self.tokens)

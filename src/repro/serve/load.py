@@ -163,7 +163,12 @@ def request_pairs(script: LoadScript, event: LoadEvent) -> list[EncodedPair]:
         segment[length // 2 : length] = 1
         pairs.append(
             EncodedPair(
-                input_ids=input_ids, segment_ids=segment, attention_mask=attention
+                input_ids=input_ids,
+                segment_ids=segment,
+                attention_mask=attention,
+                # Precomputed so scheduler/replay bucket planning skips the
+                # per-pair attention_mask.sum() (see encoded_length).
+                length=length,
             )
         )
     return pairs

@@ -137,6 +137,7 @@ class TestMatcherTracerLifecycle:
         try:
             assert matcher.metrics.names() == [
                 "drift",
+                "encode",
                 "engine",
                 "pipeline",
                 "retrieval",
@@ -145,6 +146,7 @@ class TestMatcherTracerLifecycle:
             ]
             flat = matcher.metrics.as_dict()
             assert "engine.pairs_scored" in flat
+            assert "encode.token_cache_hits" in flat
             assert "store.hits" in flat
         finally:
             matcher.close()
